@@ -1,0 +1,72 @@
+// Command benchgen emits the synthetic benchmark programs to disk in the
+// textual PAG format, for reuse by cmd/pagstat and cmd/dynsum.
+//
+// Usage:
+//
+//	benchgen -bench xalan -scale 0.05 -o xalan.pag
+//	benchgen -all -scale 0.02 -dir ./out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynsum/internal/benchgen"
+	"dynsum/internal/pag"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark name (jack, javac, soot-c, bloat, jython, avrora, batik, luindex, xalan)")
+		all   = flag.Bool("all", false, "emit all nine benchmarks")
+		scale = flag.Float64("scale", 0.02, "scale factor (1.0 = paper-sized)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("o", "", "output file (single benchmark; default <name>.pag)")
+		dir   = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	emit := func(p benchgen.Profile, path string) error {
+		prog := benchgen.Generate(p.Scaled(*scale), *seed)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pag.Encode(f, prog); err != nil {
+			return err
+		}
+		s := prog.G.Stats()
+		fmt.Printf("%s: %s -> %s\n", p.Name, s, path)
+		return nil
+	}
+
+	switch {
+	case *all:
+		for _, p := range benchgen.Profiles {
+			if err := emit(p, filepath.Join(*dir, p.Name+".pag")); err != nil {
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+		}
+	case *bench != "":
+		p, ok := benchgen.ProfileByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		path := *out
+		if path == "" {
+			path = p.Name + ".pag"
+		}
+		if err := emit(p, path); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchgen -bench <name> | -all  [-scale f] [-seed n]")
+		os.Exit(2)
+	}
+}

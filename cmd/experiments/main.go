@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments -all                 # everything, default scale 0.02
+//	experiments -table 4 -scale 0.05 # one table, bigger benchmarks
+//	experiments -figure 5 -bench soot-c,bloat,jython
+//
+// Wall-clock numbers vary with the machine; each experiment also prints
+// deterministic work counters (PAG edges traversed), which are the numbers
+// EXPERIMENTS.md quotes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynsum/internal/harness"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "render one table (1-4)")
+		figure   = flag.Int("figure", 0, "render one figure (4 or 5)")
+		all      = flag.Bool("all", false, "render every table and figure")
+		scale    = flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-sized)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		budget   = flag.Int("budget", 75000, "per-query traversal budget")
+		batches  = flag.Int("batches", 10, "query batches for figures 4 and 5")
+		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of text tables (tables 3-4, figures 4-5)")
+		ablations = flag.Bool("ablations", false, "run the cache/locality/k-limit ablations")
+	)
+	flag.Parse()
+
+	opts := harness.Options{Scale: *scale, Seed: *seed, Budget: *budget, Batches: *batches}
+	if *benchCSV != "" {
+		opts.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+
+	w := os.Stdout
+	if *asCSV {
+		check := func(err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		switch {
+		case *table == 3:
+			check(harness.WriteTable3CSV(w, opts))
+		case *table == 4:
+			check(harness.WriteTable4CSV(w, opts))
+		case *figure == 4:
+			check(harness.WriteFigure4CSV(w, opts))
+		case *figure == 5:
+			check(harness.WriteFigure5CSV(w, opts))
+		default:
+			fmt.Fprintln(os.Stderr, "experiments: -csv needs -table 3|4 or -figure 4|5")
+			os.Exit(2)
+		}
+		return
+	}
+	ran := false
+	run := func(id int, want int, f func()) {
+		if *all || id == want {
+			f()
+			fmt.Fprintln(w)
+			ran = true
+		}
+	}
+	run(*table, 1, func() { harness.WriteTable1(w) })
+	run(*table, 2, func() { harness.WriteTable2(w) })
+	run(*table, 3, func() { harness.WriteTable3(w, opts) })
+	run(*table, 4, func() { harness.WriteTable4(w, opts) })
+	run(*figure, 4, func() { harness.WriteFigure4(w, opts) })
+	run(*figure, 5, func() { harness.WriteFigure5(w, opts) })
+	if *ablations || *all {
+		harness.WriteAblations(w, opts)
+		fmt.Fprintln(w)
+		ran = true
+	}
+
+	if !ran {
+		fmt.Fprintln(os.Stderr, "nothing selected: use -all, -table N or -figure N")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

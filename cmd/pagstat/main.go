@@ -1,0 +1,57 @@
+// Command pagstat prints Table-3-style statistics for a program: either a
+// serialised PAG (.pag, from cmd/benchgen) or MiniJava source (.mj).
+//
+// Usage:
+//
+//	pagstat prog.mj
+//	pagstat bench.pag
+//	pagstat -dot prog.mj > prog.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynsum/internal/mj"
+	"dynsum/internal/pag"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pagstat [-dot] <file.mj|file.pag>")
+		os.Exit(2)
+	}
+	prog, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pagstat:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		if err := prog.G.WriteDOT(os.Stdout, prog.Name); err != nil {
+			fmt.Fprintln(os.Stderr, "pagstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	s := prog.G.Stats()
+	fmt.Printf("program: %s\n%s\n", prog.Name, s)
+	fmt.Printf("call sites: %d\nquery sites: %d casts, %d derefs, %d factories\n",
+		prog.G.NumCallSites(), len(prog.Casts), len(prog.Derefs), len(prog.Factories))
+}
+
+// load reads a program from MiniJava source or the textual PAG format.
+func load(path string) (*pag.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".mj") {
+		prog, _, err := mj.Compile(path, string(data))
+		return prog, err
+	}
+	return pag.Decode(strings.NewReader(string(data)))
+}

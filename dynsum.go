@@ -1,0 +1,127 @@
+// Package dynsum reproduces "On-Demand Dynamic Summary-based Points-to
+// Analysis" (Shang, Xie, Xue; CGO 2012) as a Go library: context-sensitive
+// demand-driven points-to analysis over Pointer Assignment Graphs, with
+// the paper's DYNSUM engine (dynamic PPTA summaries) plus the three
+// comparison engines (NOREFINE, REFINEPTS, STASUM), the three evaluation
+// clients (SafeCast, NullDeref, FactoryM), a MiniJava frontend, a
+// calibrated synthetic benchmark generator, and the experiment harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// This root package is a facade over the internal packages; see README.md
+// for the architecture and DESIGN.md for the paper-to-module map.
+//
+// A minimal session:
+//
+//	prog, info, err := dynsum.CompileMiniJava("demo", src)
+//	engine := dynsum.NewDynSum(prog.G, dynsum.Config{})
+//	pts, err := engine.PointsTo(info.Var("Main.main.x"))
+//	fmt.Println(pts.FormatObjects(prog.G))
+package dynsum
+
+import (
+	"io"
+
+	"dynsum/internal/benchgen"
+	"dynsum/internal/clients"
+	"dynsum/internal/core"
+	"dynsum/internal/mj"
+	"dynsum/internal/pag"
+	"dynsum/internal/refine"
+	"dynsum/internal/stasum"
+)
+
+// Re-exported core types.
+type (
+	// Config carries engine tunables (budget, stack-depth caps).
+	Config = core.Config
+	// Analysis is the common engine interface.
+	Analysis = core.Analysis
+	// PointsToSet is a set of (object, heap-context) pairs.
+	PointsToSet = core.PointsToSet
+	// Metrics is the per-engine work counters.
+	Metrics = core.Metrics
+	// Program is a PAG plus client query-site metadata.
+	Program = pag.Program
+	// Graph is the Pointer Assignment Graph.
+	Graph = pag.Graph
+	// Builder constructs PAGs statement by statement.
+	Builder = pag.Builder
+	// Report is a client run summary.
+	Report = clients.Report
+	// FrontendInfo exposes the MiniJava symbol tables.
+	FrontendInfo = mj.Info
+)
+
+// Errors and defaults re-exported from the kernel.
+var (
+	// ErrBudget is returned when a query exceeds its traversal budget.
+	ErrBudget = core.ErrBudget
+	// ErrDepth is returned when a query exceeds a stack-depth cap.
+	ErrDepth = core.ErrDepth
+)
+
+// DefaultBudget is the paper's 75,000-edge per-query budget.
+const DefaultBudget = core.DefaultBudget
+
+// NewBuilder returns a PAG builder over a fresh graph.
+func NewBuilder() *Builder { return pag.NewBuilder() }
+
+// NewDynSum builds the paper's engine: demand-driven points-to analysis
+// with dynamic, context-independent PPTA summaries (Algorithms 3 and 4).
+func NewDynSum(g *Graph, cfg Config) *core.DynSum { return core.NewDynSum(g, cfg, nil) }
+
+// NewNoRefine builds the NOREFINE baseline: fully field-sensitive
+// demand-driven analysis without refinement or caching.
+func NewNoRefine(g *Graph, cfg Config) Analysis { return refine.NewNoRefine(g, cfg, nil) }
+
+// NewRefinePts builds REFINEPTS (Sridharan–Bodík PLDI'06): match-edge
+// refinement with client-driven early termination.
+func NewRefinePts(g *Graph, cfg Config) *refine.Engine { return refine.NewRefinePts(g, cfg, nil) }
+
+// NewStaSum builds STASUM (Yan et al. ISSTA'11 style): offline symbolic
+// summaries for every method, reused at query time.
+func NewStaSum(g *Graph, cfg Config) *stasum.Engine { return stasum.New(g, cfg, nil) }
+
+// CompileMiniJava compiles MiniJava source to a Program (see internal/mj
+// for the language); the returned info maps qualified names to PAG nodes.
+func CompileMiniJava(name, src string) (*Program, *FrontendInfo, error) {
+	return mj.Compile(name, src)
+}
+
+// LoadPAG reads a Program in the textual PAG format.
+func LoadPAG(r io.Reader) (*Program, error) { return pag.Decode(r) }
+
+// SavePAG writes a Program in the textual PAG format.
+func SavePAG(w io.Writer, p *Program) error { return pag.Encode(w, p) }
+
+// RunClient runs one of the paper's clients ("SafeCast", "NullDeref",
+// "FactoryM") over prog with engine a.
+func RunClient(client string, prog *Program, a Analysis) (*Report, error) {
+	return clients.Run(client, prog, a)
+}
+
+// Clients lists the three client names in paper order.
+func Clients() []string { return clients.Names() }
+
+// GenerateBenchmark builds one of the nine synthetic Table 3 benchmarks at
+// the given scale (1.0 = paper-sized) and seed.
+func GenerateBenchmark(name string, scale float64, seed int64) (*Program, error) {
+	p, ok := benchgen.ProfileByName(name)
+	if !ok {
+		return nil, errUnknownBenchmark(name)
+	}
+	return benchgen.Generate(p.Scaled(scale), seed), nil
+}
+
+// BenchmarkNames lists the nine Table 3 benchmarks.
+func BenchmarkNames() []string {
+	out := make([]string, len(benchgen.Profiles))
+	for i, p := range benchgen.Profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+type errUnknownBenchmark string
+
+func (e errUnknownBenchmark) Error() string { return "dynsum: unknown benchmark " + string(e) }

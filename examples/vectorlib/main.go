@@ -1,0 +1,89 @@
+// Vectorlib: the paper's Figure 2 program, compiled from MiniJava source,
+// analysed by all four engines. Reproduces the motivating example: s1
+// resolves to the Integer allocation and s2 to the String allocation, with
+// every engine agreeing and DYNSUM reusing summaries between the queries.
+//
+//	go run ./examples/vectorlib
+package main
+
+import (
+	"fmt"
+
+	"dynsum/internal/core"
+	"dynsum/internal/mj"
+	"dynsum/internal/refine"
+	"dynsum/internal/stasum"
+)
+
+const src = `
+class Vector {
+  Object[] elems;
+  int count;
+  Vector() { Object[] t; t = new Object[8]; this.elems = t; }
+  void add(Object p) { Object[] t; t = this.elems; t[this.count] = p; }
+  Object get(int i) { Object[] t; t = this.elems; return t[i]; }
+}
+class Client {
+  Vector vec;
+  Client() {}
+  Client(Vector v) { this.vec = v; }
+  void set(Vector v) { this.vec = v; }
+  Object retrieve() { Vector t; t = this.vec; return t.get(0); }
+}
+class Integer {}
+class Main {
+  static void main() {
+    Vector v1; Vector v2; Client c1; Client c2; Object s1; Object s2;
+    v1 = new Vector();
+    v1.add(new Integer());
+    c1 = new Client(v1);
+    v2 = new Vector();
+    v2.add(new String());
+    c2 = new Client();
+    c2.set(v2);
+    s1 = c1.retrieve();
+    s2 = c2.retrieve();
+  }
+}
+`
+
+func main() {
+	prog, info, err := mj.Compile("figure2", src)
+	if err != nil {
+		panic(err)
+	}
+	g := prog.G
+	s := g.Stats()
+	fmt.Printf("PAG: %s\n\n", s)
+
+	s1 := info.Var("Main.main.s1")
+	s2 := info.Var("Main.main.s2")
+
+	engines := []core.Analysis{
+		core.NewDynSum(g, core.Config{}, nil),
+		refine.NewNoRefine(g, core.Config{}, nil),
+		refine.NewRefinePts(g, core.Config{}, nil),
+		stasum.New(g, core.Config{}, nil),
+	}
+	for _, a := range engines {
+		p1, err := a.PointsTo(s1)
+		if err != nil {
+			panic(err)
+		}
+		p2, err := a.PointsTo(s2)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s pts(s1) = %-28s pts(s2) = %s\n",
+			a.Name(), p1.FormatObjects(g), p2.FormatObjects(g))
+	}
+
+	// The Table 1 effect: s2 is cheaper than s1 on a shared engine.
+	d := core.NewDynSum(g, core.Config{}, nil)
+	d.PointsTo(s1)
+	m1 := *d.Metrics()
+	d.PointsTo(s2)
+	m2 := *d.Metrics()
+	fmt.Printf("\nDYNSUM work: s1 = %d PPTA visits, s2 = %d (reused %d summaries)\n",
+		m1.PPTAVisits, m2.PPTAVisits-m1.PPTAVisits, m2.CacheHits-m1.CacheHits)
+}

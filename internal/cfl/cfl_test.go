@@ -1,0 +1,139 @@
+package cfl
+
+import (
+	"testing"
+
+	"dynsum/internal/fixture"
+	"dynsum/internal/pag"
+)
+
+// TestBalancedParens solves the classic matched-parentheses language
+// S → ε | ( S ) | S S over a small graph.
+func TestBalancedParens(t *testing.T) {
+	g := NewGrammar()
+	open := g.Terminal("(")
+	clos := g.Terminal(")")
+	s := g.Nonterminal("S")
+	g.Rule(s)
+	g.Rule(s, open, s, clos)
+	g.Rule(s, s, s)
+
+	// 0 -(-> 1 -(-> 2 -)-> 3 -)-> 4 and a stray close 1 -)-> 5
+	edges := []Edge{
+		{0, 1, open}, {1, 2, open}, {2, 3, clos}, {3, 4, clos}, {1, 5, clos},
+	}
+	rel := Solve(g, 6, edges)
+
+	want := []struct {
+		u, v int32
+		in   bool
+	}{
+		{0, 4, true},  // (())
+		{1, 3, true},  // ()
+		{0, 0, true},  // ε
+		{0, 3, false}, // (()
+		{1, 4, false}, // ())
+		{0, 5, true},  // () via the stray close
+	}
+	for _, w := range want {
+		if got := rel.Reachable(s, w.u, w.v); got != w.in {
+			t.Errorf("S-path %d→%d = %v, want %v", w.u, w.v, got, w.in)
+		}
+	}
+}
+
+func TestUnaryAndLongRules(t *testing.T) {
+	g := NewGrammar()
+	a := g.Terminal("a")
+	b := g.Terminal("b")
+	c := g.Terminal("c")
+	s := g.Nonterminal("S")
+	x := g.Nonterminal("X")
+	g.Rule(s, a, b, c) // long rule: binarised internally
+	g.Rule(x, s)       // unary
+
+	edges := []Edge{{0, 1, a}, {1, 2, b}, {2, 3, c}}
+	rel := Solve(g, 4, edges)
+	if !rel.Reachable(s, 0, 3) {
+		t.Error("abc path not derived for S")
+	}
+	if !rel.Reachable(x, 0, 3) {
+		t.Error("unary rule X→S not applied")
+	}
+	if rel.Reachable(s, 0, 2) {
+		t.Error("partial ab derived S")
+	}
+	if g.NumRules() < 3 {
+		t.Errorf("NumRules = %d, want >= 3 after binarisation", g.NumRules())
+	}
+}
+
+func TestGrammarPanics(t *testing.T) {
+	g := NewGrammar()
+	a := g.Terminal("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("Rule with terminal head did not panic")
+		}
+	}()
+	g.Rule(a, a)
+}
+
+func TestRedeclareKindPanics(t *testing.T) {
+	g := NewGrammar()
+	g.Terminal("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("redeclaring terminal as nonterminal did not panic")
+		}
+	}()
+	g.Nonterminal("x")
+}
+
+// TestLFTOracleMicros validates the LFT encoding on the micro fixtures
+// that need no context sensitivity.
+func TestLFTOracleMicros(t *testing.T) {
+	cases := map[string]*fixture.Micro{
+		"AssignChain":   fixture.AssignChain(4),
+		"FieldPair":     fixture.FieldPair(),
+		"TwoFields":     fixture.TwoFields(),
+		"PointsToCycle": fixture.PointsToCycle(),
+		"GlobalFlow":    fixture.GlobalFlow(),
+	}
+	for name, m := range cases {
+		t.Run(name, func(t *testing.T) {
+			oracle := PointsToOracle(m.Prog.G)
+			got := oracle[m.Query]
+			has := func(o pag.NodeID) bool {
+				for _, x := range got {
+					if x == o {
+						return true
+					}
+				}
+				return false
+			}
+			for _, w := range m.Want {
+				if !has(w) {
+					t.Errorf("oracle pts(%s) = %v missing %s",
+						m.Prog.G.NodeString(m.Query), got, m.Prog.G.NodeString(w))
+				}
+			}
+			for _, nw := range m.Not {
+				if has(nw) {
+					t.Errorf("oracle pts(%s) = %v has spurious %s",
+						m.Prog.G.NodeString(m.Query), got, m.Prog.G.NodeString(nw))
+				}
+			}
+		})
+	}
+}
+
+// TestLFTContextInsensitive: on the ContextSeparation fixture the oracle
+// must merge both objects — it implements §3.2 (no context sensitivity).
+func TestLFTContextInsensitive(t *testing.T) {
+	m := fixture.ContextSeparation()
+	oracle := PointsToOracle(m.Prog.G)
+	if got := oracle[m.Query]; len(got) != 2 {
+		t.Errorf("oracle pts = %v, want 2 objects (context-insensitive)", got)
+	}
+}

@@ -1,0 +1,93 @@
+// Package cfl implements generic context-free-language reachability
+// (paper §3.1): given a directed graph with edge labels from an alphabet Σ
+// and a context-free grammar over Σ, it computes for every nonterminal A
+// the relation {(u,v) : some u→v path spells a string in L(A)}.
+//
+// The solver is the classic worklist algorithm of Melski–Reps / Yannakakis
+// with O(Γ³N³) worst-case time. It is far too slow for real programs —
+// which is the paper's point — but on micro graphs it is an executable
+// specification: the package also builds the paper's LFT grammar
+// (equations (2) and (3)) so that the specialised demand-driven engines
+// can be validated against it (see internal/enginetest).
+package cfl
+
+import "fmt"
+
+// Symbol identifies a terminal or nonterminal within one Grammar.
+type Symbol int32
+
+// Grammar is a context-free grammar under construction. Symbols must be
+// created through Terminal/Nonterminal before use in rules.
+type Grammar struct {
+	names   []string
+	isTerm  []bool
+	byName  map[string]Symbol
+	eps     []Symbol // A → ε
+	unary   [][2]Symbol
+	binary  [][3]Symbol // A → B C
+	nextVar int
+}
+
+// NewGrammar returns an empty grammar.
+func NewGrammar() *Grammar {
+	return &Grammar{byName: make(map[string]Symbol)}
+}
+
+func (g *Grammar) intern(name string, term bool) Symbol {
+	if s, ok := g.byName[name]; ok {
+		if g.isTerm[s] != term {
+			panic(fmt.Sprintf("cfl: symbol %q redeclared with different kind", name))
+		}
+		return s
+	}
+	s := Symbol(len(g.names))
+	g.names = append(g.names, name)
+	g.isTerm = append(g.isTerm, term)
+	g.byName[name] = s
+	return s
+}
+
+// Terminal declares (or retrieves) a terminal symbol.
+func (g *Grammar) Terminal(name string) Symbol { return g.intern(name, true) }
+
+// Nonterminal declares (or retrieves) a nonterminal symbol.
+func (g *Grammar) Nonterminal(name string) Symbol { return g.intern(name, false) }
+
+// NumSymbols returns the number of declared symbols.
+func (g *Grammar) NumSymbols() int { return len(g.names) }
+
+// Name returns the name of s.
+func (g *Grammar) Name(s Symbol) string { return g.names[s] }
+
+// IsTerminal reports whether s is a terminal.
+func (g *Grammar) IsTerminal(s Symbol) bool { return g.isTerm[s] }
+
+// Rule adds the production lhs → rhs... . The empty rhs is an ε-rule.
+// Long right-hand sides are binarised on the fly with fresh helper
+// nonterminals, so the solver only ever sees ε, unary and binary rules.
+func (g *Grammar) Rule(lhs Symbol, rhs ...Symbol) {
+	if g.isTerm[lhs] {
+		panic(fmt.Sprintf("cfl: rule head %q is a terminal", g.names[lhs]))
+	}
+	switch len(rhs) {
+	case 0:
+		g.eps = append(g.eps, lhs)
+	case 1:
+		g.unary = append(g.unary, [2]Symbol{lhs, rhs[0]})
+	case 2:
+		g.binary = append(g.binary, [3]Symbol{lhs, rhs[0], rhs[1]})
+	default:
+		// lhs → rhs[0] helper;  helper → rhs[1:] ... recursively.
+		helper := g.fresh()
+		g.binary = append(g.binary, [3]Symbol{lhs, rhs[0], helper})
+		g.Rule(helper, rhs[1:]...)
+	}
+}
+
+func (g *Grammar) fresh() Symbol {
+	g.nextVar++
+	return g.intern(fmt.Sprintf("__t%d", g.nextVar), false)
+}
+
+// NumRules returns the number of stored (normalised) rules.
+func (g *Grammar) NumRules() int { return len(g.eps) + len(g.unary) + len(g.binary) }

@@ -1,0 +1,112 @@
+package cfl
+
+import (
+	"dynsum/internal/pag"
+)
+
+// This file encodes the paper's field-sensitive flows-to language LFT
+// (equations (2) and (3), §3.2) as a Grammar over a PAG, providing an
+// executable specification of field-sensitive points-to analysis:
+//
+//	flowsTo    → new ( assign | store(f) alias load(f) )*
+//	alias      → flowsToBar flowsTo
+//	flowsToBar → ( assignBar | loadBar(f) alias storeBar(f) )* newBar
+//
+// Global edges (assignglobal/entry/exit) are mapped onto the assign
+// terminal, i.e. the encoding is deliberately context-INsensitive — that
+// is exactly the analysis of paper §3.2, to which the context-sensitive
+// engines must be compared only on graphs where context cannot matter
+// (single method, or no recursion and no reuse of a callee from two
+// sites... in practice: local-only graphs).
+
+// LFT bundles the grammar, start symbol and edge encoding for one PAG.
+type LFT struct {
+	Grammar *Grammar
+	FlowsTo Symbol
+	Alias   Symbol
+	Edges   []Edge
+	Nodes   int
+}
+
+// BuildLFT encodes g. Every PAG edge contributes its terminal and the
+// inverse terminal on the reversed endpoints (the "barred" edges of §3.2).
+func BuildLFT(g *pag.Graph) *LFT {
+	gr := NewGrammar()
+	newT := gr.Terminal("new")
+	newBar := gr.Terminal("new̅")
+	asn := gr.Terminal("assign")
+	asnBar := gr.Terminal("assign̅")
+
+	flowsTo := gr.Nonterminal("flowsTo")
+	flowsToBar := gr.Nonterminal("flowsTo̅")
+	alias := gr.Nonterminal("alias")
+	f := gr.Nonterminal("F")     // ( assign | store(f) alias load(f) )*
+	fBar := gr.Nonterminal("F̅") // ( assignBar | loadBar(f) alias storeBar(f) )*
+
+	gr.Rule(flowsTo, newT, f)
+	gr.Rule(f)
+	gr.Rule(f, f, asn)
+	gr.Rule(flowsToBar, fBar, newBar)
+	gr.Rule(fBar)
+	gr.Rule(fBar, asnBar, fBar)
+	gr.Rule(alias, flowsToBar, flowsTo)
+
+	nf := g.NumFields()
+	ld := make([]Symbol, nf)
+	ldBar := make([]Symbol, nf)
+	st := make([]Symbol, nf)
+	stBar := make([]Symbol, nf)
+	for i := 0; i < nf; i++ {
+		name := g.FieldName(pag.FieldID(i))
+		ld[i] = gr.Terminal("ld(" + name + ")")
+		ldBar[i] = gr.Terminal("ld̅(" + name + ")")
+		st[i] = gr.Terminal("st(" + name + ")")
+		stBar[i] = gr.Terminal("st̅(" + name + ")")
+		gr.Rule(f, f, st[i], alias, ld[i])
+		gr.Rule(fBar, ldBar[i], alias, stBar[i], fBar)
+	}
+
+	l := &LFT{Grammar: gr, FlowsTo: flowsTo, Alias: alias, Nodes: g.NumNodes()}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, e := range g.Out(pag.NodeID(i)) {
+			var t, tBar Symbol
+			switch e.Kind {
+			case pag.New:
+				t, tBar = newT, newBar
+			case pag.Assign, pag.AssignGlobal, pag.Entry, pag.Exit:
+				t, tBar = asn, asnBar
+			case pag.Load:
+				t, tBar = ld[e.Field()], ldBar[e.Field()]
+			case pag.Store:
+				t, tBar = st[e.Field()], stBar[e.Field()]
+			}
+			l.Edges = append(l.Edges, Edge{Src: int32(e.Src), Dst: int32(e.Dst), Label: t})
+			l.Edges = append(l.Edges, Edge{Src: int32(e.Dst), Dst: int32(e.Src), Label: tBar})
+		}
+	}
+	return l
+}
+
+// PointsToOracle solves LFT over g and returns the context-insensitive
+// field-sensitive points-to relation: for each variable, the sorted set of
+// objects o with o flowsTo v.
+func PointsToOracle(g *pag.Graph) map[pag.NodeID][]pag.NodeID {
+	l := BuildLFT(g)
+	rel := Solve(l.Grammar, l.Nodes, l.Edges)
+	out := make(map[pag.NodeID][]pag.NodeID)
+	for _, p := range rel.Pairs(l.FlowsTo) {
+		o, v := pag.NodeID(p[0]), pag.NodeID(p[1])
+		if g.Node(o).Kind == pag.Object && g.Node(v).Kind != pag.Object {
+			out[v] = append(out[v], o)
+		}
+	}
+	for v := range out {
+		s := out[v]
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package cfl
+
+// Edge is one labelled graph edge for the solver.
+type Edge struct {
+	Src, Dst int32
+	Label    Symbol
+}
+
+// Relation holds the solved reachability facts per symbol.
+type Relation struct {
+	g     *Grammar
+	n     int
+	facts map[fact]bool
+
+	// Facts counts derived facts, a deterministic work measure.
+	Facts int
+}
+
+type fact struct {
+	sym      Symbol
+	src, dst int32
+}
+
+// Reachable reports whether some path u→v derives sym.
+func (r *Relation) Reachable(sym Symbol, u, v int32) bool {
+	return r.facts[fact{sym, u, v}]
+}
+
+// Pairs returns all (u,v) with u→v deriving sym.
+func (r *Relation) Pairs(sym Symbol) [][2]int32 {
+	var out [][2]int32
+	for f := range r.facts {
+		if f.sym == sym {
+			out = append(out, [2]int32{f.src, f.dst})
+		}
+	}
+	return out
+}
+
+// Solve computes all-pairs CFL reachability of grammar g over a graph with
+// numNodes nodes and the given labelled edges.
+func Solve(g *Grammar, numNodes int, edges []Edge) *Relation {
+	r := &Relation{g: g, n: numNodes, facts: make(map[fact]bool)}
+	nsym := g.NumSymbols()
+
+	// adjacency per symbol: bySrc[sym][u] -> dsts, byDst[sym][v] -> srcs
+	bySrc := make([][][]int32, nsym)
+	byDst := make([][][]int32, nsym)
+	for s := 0; s < nsym; s++ {
+		bySrc[s] = make([][]int32, numNodes)
+		byDst[s] = make([][]int32, numNodes)
+	}
+
+	// rule indexes
+	unaryBy := make([][]Symbol, nsym) // B -> heads A with A→B
+	for _, u := range g.unary {
+		unaryBy[u[1]] = append(unaryBy[u[1]], u[0])
+	}
+	binByFirst := make([][][2]Symbol, nsym)  // B -> (A, C) with A→B C
+	binBySecond := make([][][2]Symbol, nsym) // C -> (A, B) with A→B C
+	for _, b := range g.binary {
+		binByFirst[b[1]] = append(binByFirst[b[1]], [2]Symbol{b[0], b[2]})
+		binBySecond[b[2]] = append(binBySecond[b[2]], [2]Symbol{b[0], b[1]})
+	}
+
+	var work []fact
+	add := func(f fact) {
+		if !r.facts[f] {
+			r.facts[f] = true
+			bySrc[f.sym][f.src] = append(bySrc[f.sym][f.src], f.dst)
+			byDst[f.sym][f.dst] = append(byDst[f.sym][f.dst], f.src)
+			work = append(work, f)
+			r.Facts++
+		}
+	}
+
+	for _, e := range edges {
+		add(fact{e.Label, e.Src, e.Dst})
+	}
+	for _, lhs := range g.eps {
+		for u := int32(0); u < int32(numNodes); u++ {
+			add(fact{lhs, u, u})
+		}
+	}
+
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		for _, a := range unaryBy[f.sym] {
+			add(fact{a, f.src, f.dst})
+		}
+		// f is B in A→B C: join with C-facts starting at f.dst.
+		for _, ac := range binByFirst[f.sym] {
+			for _, w := range bySrc[ac[1]][f.dst] {
+				add(fact{ac[0], f.src, w})
+			}
+		}
+		// f is C in A→B C: join with B-facts ending at f.src.
+		for _, ab := range binBySecond[f.sym] {
+			for _, u := range byDst[ab[1]][f.src] {
+				add(fact{ab[0], u, f.dst})
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,205 @@
+// Package clients implements the paper's three demand clients (§5.2):
+//
+//   - SafeCast checks that every downcast (T)v is safe: all objects v may
+//     point to are subtypes of T.
+//   - NullDeref checks that dereferenced variables cannot be null,
+//     demanding high precision (the client the paper says benefits most
+//     from DYNSUM).
+//   - FactoryM checks that a factory method returns a freshly allocated
+//     object: everything its return variable points to is allocated in the
+//     factory or its transitive callees, and never null.
+//
+// Each client walks its site list, issues one points-to query per site,
+// and classifies the site as Proven (the property holds), Violation (a
+// counterexample object was found by a fully precise answer), or Unknown
+// (budget or depth exhausted: conservative).
+//
+// Clients drive REFINEPTS's refinement loop through core.Refinable: the
+// satisfaction predicate is exactly the property, so the engine can stop
+// refining as soon as an over-approximation already proves it — the early
+// termination the paper credits for REFINEPTS's good SafeCast results.
+package clients
+
+import (
+	"fmt"
+	"strings"
+
+	"dynsum/internal/core"
+	"dynsum/internal/pag"
+)
+
+// Verdict classifies one client site.
+type Verdict uint8
+
+const (
+	// Proven means the property was established.
+	Proven Verdict = iota
+	// Violation means a counterexample object was found.
+	Violation
+	// Unknown means the query exceeded its budget; clients must assume
+	// the worst.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Proven:
+		return "proven"
+	case Violation:
+		return "violation"
+	}
+	return "unknown"
+}
+
+// SiteResult is the outcome for one query site.
+type SiteResult struct {
+	Site    string
+	Verdict Verdict
+	Objects int // |pts| of the queried variable (0 for Unknown)
+}
+
+// Report aggregates a client run.
+type Report struct {
+	Client     string
+	Analysis   string
+	Queries    int
+	Proven     int
+	Violations int
+	Unknown    int
+	Results    []SiteResult
+}
+
+func (r *Report) add(site string, v Verdict, objects int) {
+	r.Queries++
+	switch v {
+	case Proven:
+		r.Proven++
+	case Violation:
+		r.Violations++
+	default:
+		r.Unknown++
+	}
+	r.Results = append(r.Results, SiteResult{Site: site, Verdict: v, Objects: objects})
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("%s/%s: %d queries, %d proven, %d violations, %d unknown",
+		r.Client, r.Analysis, r.Queries, r.Proven, r.Violations, r.Unknown)
+}
+
+// Summary renders per-site detail for diagnostics.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	b.WriteString(r.String())
+	b.WriteByte('\n')
+	for _, s := range r.Results {
+		fmt.Fprintf(&b, "  %-40s %-9s |pts|=%d\n", s.Site, s.Verdict, s.Objects)
+	}
+	return b.String()
+}
+
+// query runs one points-to query, using the refinement loop when the
+// engine supports it. satisfied must be monotone-friendly: true on a set
+// implies the property holds for every subset.
+func query(a core.Analysis, v pag.NodeID, satisfied func(*core.PointsToSet) bool) (Verdict, int) {
+	if ref, ok := a.(core.Refinable); ok {
+		pts, sat, err := ref.PointsToSatisfying(v, satisfied)
+		if err != nil {
+			return Unknown, 0
+		}
+		if sat || satisfied(pts) {
+			return Proven, pts.Len()
+		}
+		return Violation, pts.Len()
+	}
+	pts, err := a.PointsTo(v)
+	if err != nil {
+		return Unknown, 0
+	}
+	if satisfied(pts) {
+		return Proven, pts.Len()
+	}
+	return Violation, pts.Len()
+}
+
+// SafeCast checks every downcast site of p with analysis a.
+func SafeCast(p *pag.Program, a core.Analysis) *Report {
+	rep := &Report{Client: "SafeCast", Analysis: a.Name()}
+	g := p.G
+	for _, site := range p.Casts {
+		ok := func(pts *core.PointsToSet) bool {
+			for _, o := range pts.Objects() {
+				if g.IsNullObject(o) {
+					continue // null is castable to anything
+				}
+				if !g.SubtypeOf(g.Node(o).Class, site.Target) {
+					return false
+				}
+			}
+			return true
+		}
+		v, n := query(a, site.Var, ok)
+		rep.add(site.Name, v, n)
+	}
+	return rep
+}
+
+// NullDeref checks every dereference site of p with analysis a.
+func NullDeref(p *pag.Program, a core.Analysis) *Report {
+	rep := &Report{Client: "NullDeref", Analysis: a.Name()}
+	g := p.G
+	for _, site := range p.Derefs {
+		ok := func(pts *core.PointsToSet) bool {
+			for _, o := range pts.Objects() {
+				if g.IsNullObject(o) {
+					return false
+				}
+			}
+			return true
+		}
+		v, n := query(a, site.Var, ok)
+		rep.add(site.Name, v, n)
+	}
+	return rep
+}
+
+// FactoryM checks every factory method of p with analysis a: the return
+// variable must point only to objects allocated within the factory's
+// transitive callee closure, and never to null.
+func FactoryM(p *pag.Program, a core.Analysis) *Report {
+	rep := &Report{Client: "FactoryM", Analysis: a.Name()}
+	g := p.G
+	for _, site := range p.Factories {
+		closure := p.CalleeClosure(site.Method)
+		ok := func(pts *core.PointsToSet) bool {
+			for _, o := range pts.Objects() {
+				if g.IsNullObject(o) {
+					return false
+				}
+				if !closure[g.Node(o).Method] {
+					return false
+				}
+			}
+			return true
+		}
+		v, n := query(a, site.Ret, ok)
+		rep.add(site.Name, v, n)
+	}
+	return rep
+}
+
+// Run dispatches a client by name ("SafeCast", "NullDeref", "FactoryM").
+func Run(client string, p *pag.Program, a core.Analysis) (*Report, error) {
+	switch client {
+	case "SafeCast":
+		return SafeCast(p, a), nil
+	case "NullDeref":
+		return NullDeref(p, a), nil
+	case "FactoryM":
+		return FactoryM(p, a), nil
+	}
+	return nil, fmt.Errorf("clients: unknown client %q", client)
+}
+
+// Names lists the three clients in paper order.
+func Names() []string { return []string{"SafeCast", "NullDeref", "FactoryM"} }

@@ -1,0 +1,38 @@
+package core
+
+import "dynsum/internal/pag"
+
+// MayAlias answers a demand alias query with any engine: x and y may alias
+// iff some abstract object (allocation site with heap context) is in both
+// points-to sets. Non-aliasing proofs are the canonical client of
+// demand-driven points-to analysis (paper §1); a conservative true is
+// returned together with the error when either query exhausts its budget.
+func MayAlias(a Analysis, x, y pag.NodeID) (bool, error) {
+	if x == y {
+		return true, nil
+	}
+	px, err := a.PointsTo(x)
+	if err != nil {
+		return true, err
+	}
+	py, err := a.PointsTo(y)
+	if err != nil {
+		return true, err
+	}
+	return Intersects(px, py), nil
+}
+
+// Intersects reports whether two points-to sets share an (object, context)
+// pair.
+func Intersects(a, b *PointsToSet) bool {
+	small, large := a, b
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	for _, hc := range small.Pairs() {
+		if large.Has(hc.Obj, hc.Ctx) {
+			return true
+		}
+	}
+	return false
+}

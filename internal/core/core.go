@@ -1,0 +1,162 @@
+// Package core provides the shared kernel of every demand-driven points-to
+// engine in this repository — budgets, points-to sets, configuration, the
+// Analysis interface, work metrics — together with the reference
+// implementation of the paper's contribution: the DYNSUM engine
+// (Algorithms 3 and 4), i.e. context-sensitive demand-driven points-to
+// analysis with dynamic PPTA summaries.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// ErrBudget is reported when a query exceeds its traversal budget. The
+// paper (§5.2) uses a budget of 75,000 PAG edge traversals per query;
+// clients must answer conservatively when they see this error.
+var ErrBudget = errors.New("points-to query budget exceeded")
+
+// ErrDepth is reported when a query exceeds the field- or context-stack
+// depth cap. The paper's implementation bounds this by collapsing
+// recursion cycles in the call graph; we bound the stacks directly and
+// treat overflow exactly like budget exhaustion (conservative answer).
+var ErrDepth = errors.New("points-to query stack depth exceeded")
+
+// DefaultBudget is the paper's per-query traversal budget (§5.2).
+const DefaultBudget = 75000
+
+// Config carries the tunables shared by all engines. The zero value is
+// usable: WithDefaults substitutes the paper's settings.
+type Config struct {
+	// Budget is the maximum number of PAG edge traversals per query.
+	Budget int
+	// MaxFieldDepth caps the field stack (pending unmatched loads).
+	MaxFieldDepth int
+	// MaxCtxDepth caps the context stack (pending unmatched call edges).
+	MaxCtxDepth int
+}
+
+// WithDefaults returns c with zero fields replaced by the defaults
+// (budget 75,000; both depth caps 64).
+func (c Config) WithDefaults() Config {
+	if c.Budget == 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.MaxFieldDepth == 0 {
+		c.MaxFieldDepth = 64
+	}
+	if c.MaxCtxDepth == 0 {
+		c.MaxCtxDepth = 64
+	}
+	return c
+}
+
+// Budget counts PAG edge traversals for one query.
+type Budget struct {
+	Limit int
+	Steps int
+}
+
+// NewBudget returns a budget of limit steps.
+func NewBudget(limit int) *Budget { return &Budget{Limit: limit} }
+
+// Step consumes one traversal step; it reports false once the limit is
+// exhausted.
+func (b *Budget) Step() bool {
+	b.Steps++
+	return b.Steps <= b.Limit
+}
+
+// Remaining returns the number of steps left.
+func (b *Budget) Remaining() int {
+	if r := b.Limit - b.Steps; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// State is the direction state of the points-to/alias recursive state
+// machine of paper Figure 3(a): S1 traverses a flowsTo-bar path (from the
+// queried variable backwards towards objects); S2 traverses a flowsTo path
+// (forwards from an object towards variables).
+type State uint8
+
+const (
+	// S1 is the flowsTo-bar (pointsTo) direction.
+	S1 State = iota
+	// S2 is the flowsTo direction.
+	S2
+)
+
+func (s State) String() string {
+	if s == S1 {
+		return "S1"
+	}
+	return "S2"
+}
+
+// Analysis is the interface all four engines (DYNSUM, REFINEPTS, NOREFINE,
+// STASUM) implement. PointsTo computes the points-to set of v under the
+// empty initial context. A nil error means the set is exact (for the
+// engine's precision class); ErrBudget/ErrDepth mean the query was
+// abandoned and the set is partial.
+type Analysis interface {
+	Name() string
+	PointsTo(v pag.NodeID) (*PointsToSet, error)
+	Metrics() *Metrics
+}
+
+// Refinable is implemented by engines with an iterative refinement loop
+// (REFINEPTS, paper Algorithm 2): satisfied is consulted after each
+// refinement pass and stops the loop early.
+type Refinable interface {
+	Analysis
+	PointsToSatisfying(v pag.NodeID, satisfied func(*PointsToSet) bool) (*PointsToSet, bool, error)
+}
+
+// Metrics aggregates work counters across queries. Counters, unlike wall
+// time, are machine-independent, so tests and EXPERIMENTS.md use them to
+// state reproducible claims.
+type Metrics struct {
+	Queries        int64 // PointsTo calls
+	Failed         int64 // queries ended by ErrBudget/ErrDepth
+	EdgesTraversed int64 // total PAG edge traversals
+	TuplesVisited  int64 // driver worklist tuples processed (DYNSUM/STASUM)
+	PPTAVisits     int64 // states visited inside PPTA computations
+	CacheHits      int64 // summary cache hits (DYNSUM) / memo hits (REFINEPTS)
+	CacheMisses    int64 // summary cache misses
+	Summaries      int64 // summaries computed (DYNSUM cache entries / STASUM total)
+	RefineIters    int64 // refinement-loop iterations (REFINEPTS)
+	MatchEdges     int64 // match-edge shortcuts taken (REFINEPTS)
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.Queries += other.Queries
+	m.Failed += other.Failed
+	m.EdgesTraversed += other.EdgesTraversed
+	m.TuplesVisited += other.TuplesVisited
+	m.PPTAVisits += other.PPTAVisits
+	m.CacheHits += other.CacheHits
+	m.CacheMisses += other.CacheMisses
+	m.Summaries += other.Summaries
+	m.RefineIters += other.RefineIters
+	m.MatchEdges += other.MatchEdges
+}
+
+func (m *Metrics) String() string {
+	return fmt.Sprintf("queries=%d failed=%d edges=%d tuples=%d ppta=%d hits=%d misses=%d summaries=%d refines=%d matches=%d",
+		m.Queries, m.Failed, m.EdgesTraversed, m.TuplesVisited, m.PPTAVisits,
+		m.CacheHits, m.CacheMisses, m.Summaries, m.RefineIters, m.MatchEdges)
+}
+
+// HeapCtx is a context-sensitive abstract object: an allocation site
+// distinguished by the context stack under which it was discovered (the
+// paper's heap-abstraction axis of context sensitivity, §1).
+type HeapCtx struct {
+	Obj pag.NodeID
+	Ctx intstack.ID
+}

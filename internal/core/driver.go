@@ -1,0 +1,155 @@
+package core
+
+import (
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// This file implements the context-handling worklist of paper Algorithm 4
+// generically, so that DYNSUM (dynamic summaries) and STASUM (static
+// summaries) share one driver and differ only in how method-local
+// reachability is summarised.
+
+// FrontierState is a local-closure exit point: the traversal reached Node
+// with field stack Fs in direction St, and Node touches a global edge in
+// the continuing direction.
+type FrontierState struct {
+	Node pag.NodeID
+	Fs   intstack.ID
+	St   State
+}
+
+// Summary is the local-closure result handed to the driver: objects found
+// entirely through local edges, plus the frontier states to expand over
+// global edges. Field-stack IDs are private to the Summarizer; the driver
+// passes them through opaquely.
+type Summary struct {
+	Objects  []pag.NodeID
+	Frontier []FrontierState
+}
+
+// Summarizer produces the local-closure summary for a state. Reused
+// reports whether the summary came from a cache (for tracing/metrics).
+type Summarizer interface {
+	Summarize(n pag.NodeID, fs intstack.ID, st State, bud *Budget) (sum Summary, reused bool, err error)
+}
+
+// FieldSlicer is optionally implemented by Summarizers that can render
+// their opaque field-stack IDs; the driver uses it to fill TraceEvent
+// field columns (paper Table 1's f column).
+type FieldSlicer interface {
+	SliceFields(fs intstack.ID) []intstack.Sym
+}
+
+// driverTuple is one worklist element of Algorithm 4.
+type driverTuple struct {
+	node pag.NodeID
+	fs   intstack.ID
+	st   State
+	ctx  intstack.ID
+}
+
+// RunDriver executes the Algorithm 4 worklist for a points-to query on v
+// in context ctx, delegating local closures to sum. Every global-edge
+// traversal is debited against bud. trace may be nil.
+func RunDriver(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
+	v pag.NodeID, ctx intstack.ID, bud *Budget, m *Metrics, trace func(TraceEvent)) (*PointsToSet, error) {
+
+	pts := NewPointsToSet()
+	start := driverTuple{node: v, fs: intstack.Empty, st: S1, ctx: ctx}
+	seen := map[driverTuple]bool{start: true}
+	work := []driverTuple{start}
+
+	propagate := func(tp driverTuple) {
+		if !seen[tp] {
+			seen[tp] = true
+			work = append(work, tp)
+		}
+	}
+
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		m.TuplesVisited++
+
+		res, reused, err := sum.Summarize(cur.node, cur.fs, cur.st, bud)
+		if err != nil {
+			m.Failed++
+			return pts, err
+		}
+		if trace != nil {
+			ev := TraceEvent{
+				Node: cur.node, State: cur.st,
+				Ctx: ctxs.Slice(cur.ctx), Reused: reused, Kind: "tuple",
+			}
+			if fsl, ok := sum.(FieldSlicer); ok {
+				ev.Fields = fsl.SliceFields(cur.fs)
+			}
+			trace(ev)
+		}
+
+		// Objects found by the local closure are tagged with the tuple's
+		// context: local edges never changed it (Algorithm 4, lines 10-11).
+		for _, o := range res.Objects {
+			pts.Add(o, cur.ctx)
+		}
+
+		// Expand each frontier state over the global edges, performing the
+		// RRP context matching of Figure 3(b) (Algorithm 4, lines 12-28).
+		for _, fr := range res.Frontier {
+			switch fr.St {
+			case S1: // continue backwards over incoming global edges
+				for _, e := range g.In(fr.Node) {
+					if e.Kind.IsLocal() {
+						continue
+					}
+					if !bud.Step() {
+						m.Failed++
+						return pts, ErrBudget
+					}
+					m.EdgesTraversed++
+					switch e.Kind {
+					case pag.Exit:
+						if ctxs.Depth(cur.ctx) >= cfg.MaxCtxDepth {
+							m.Failed++
+							return pts, ErrDepth
+						}
+						propagate(driverTuple{e.Src, fr.Fs, S1, ctxs.Push(cur.ctx, e.Label)})
+					case pag.Entry:
+						if top, ok := ctxs.Peek(cur.ctx); !ok || top == e.Label {
+							propagate(driverTuple{e.Src, fr.Fs, S1, ctxs.Pop(cur.ctx)})
+						}
+					case pag.AssignGlobal:
+						propagate(driverTuple{e.Src, fr.Fs, S1, intstack.Empty})
+					}
+				}
+			case S2: // continue forwards over outgoing global edges
+				for _, e := range g.Out(fr.Node) {
+					if e.Kind.IsLocal() {
+						continue
+					}
+					if !bud.Step() {
+						m.Failed++
+						return pts, ErrBudget
+					}
+					m.EdgesTraversed++
+					switch e.Kind {
+					case pag.Entry:
+						if ctxs.Depth(cur.ctx) >= cfg.MaxCtxDepth {
+							m.Failed++
+							return pts, ErrDepth
+						}
+						propagate(driverTuple{e.Dst, fr.Fs, S2, ctxs.Push(cur.ctx, e.Label)})
+					case pag.Exit:
+						if top, ok := ctxs.Peek(cur.ctx); !ok || top == e.Label {
+							propagate(driverTuple{e.Dst, fr.Fs, S2, ctxs.Pop(cur.ctx)})
+						}
+					case pag.AssignGlobal:
+						propagate(driverTuple{e.Dst, fr.Fs, S2, intstack.Empty})
+					}
+				}
+			}
+		}
+	}
+	return pts, nil
+}

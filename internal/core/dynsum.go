@@ -1,0 +1,157 @@
+package core
+
+import (
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// DynSum is the paper's contribution (Algorithm 4): a context-sensitive
+// demand-driven points-to engine that factors each query into
+// context-independent PPTA summaries over local edges (Algorithm 3, cached
+// across contexts and across queries) and a worklist over the
+// context-bearing global edges, on which it performs the RRP
+// balanced-parentheses matching of paper Figure 3(b).
+//
+// The summary cache persists for the lifetime of the engine, so a batch of
+// queries sharing library code gets progressively cheaper — the effect
+// measured in paper Figure 4.
+type DynSum struct {
+	g   *pag.Graph
+	cfg Config
+
+	fields *intstack.Table // field stacks (private)
+	ctxs   *intstack.Table // context stacks (shareable across engines)
+
+	cache   map[pptaState]*pptaResult
+	metrics Metrics
+
+	// Tracer, when set, receives one event per driver tuple and per PPTA
+	// summary computation; the Table 1 reproduction uses it.
+	Tracer func(TraceEvent)
+
+	// DisableCache turns off summary reuse; the cache-ablation benchmark
+	// uses it to isolate the value of dynamic summaries.
+	DisableCache bool
+}
+
+// TraceEvent describes one step of the driver, mirroring the columns of
+// paper Table 1.
+type TraceEvent struct {
+	Node   pag.NodeID
+	Fields []intstack.Sym // field stack, top first (ppta events only)
+	State  State
+	Ctx    []intstack.Sym // context stack, top first
+	Reused bool           // true when the PPTA summary came from the cache
+	Kind   string         // "tuple" (driver step) or "ppta" (summary computed)
+}
+
+// NewDynSum builds a DYNSUM engine over g. ctxs may be nil (a private
+// table is created) or shared with other engines so that their points-to
+// sets are directly comparable.
+func NewDynSum(g *pag.Graph, cfg Config, ctxs *intstack.Table) *DynSum {
+	if ctxs == nil {
+		ctxs = new(intstack.Table)
+	}
+	return &DynSum{
+		g:      g,
+		cfg:    cfg.WithDefaults(),
+		fields: new(intstack.Table),
+		ctxs:   ctxs,
+		cache:  make(map[pptaState]*pptaResult),
+	}
+}
+
+// Name implements Analysis.
+func (d *DynSum) Name() string { return "DYNSUM" }
+
+// Metrics implements Analysis.
+func (d *DynSum) Metrics() *Metrics { return &d.metrics }
+
+// Ctxs returns the engine's context-stack table; points-to sets returned
+// by the engine use IDs from this table.
+func (d *DynSum) Ctxs() *intstack.Table { return d.ctxs }
+
+// SummaryCount returns the number of PPTA summaries currently cached —
+// the quantity Figure 5 compares against STASUM.
+func (d *DynSum) SummaryCount() int { return len(d.cache) }
+
+// ResetCache drops all summaries (used by the IDE-session example to model
+// invalidation after an edit, and by ablations).
+func (d *DynSum) ResetCache() { d.cache = make(map[pptaState]*pptaResult) }
+
+// InvalidateMethod drops the summaries whose start node lies in method m —
+// the incremental invalidation an IDE performs after editing one method
+// (the paper motivates DYNSUM with exactly this "program undergoing many
+// edits" scenario, §1 and §7).
+func (d *DynSum) InvalidateMethod(m pag.MethodID) int {
+	dropped := 0
+	for k := range d.cache {
+		if d.g.Node(k.node).Method == m {
+			delete(d.cache, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// PointsTo implements Analysis: the points-to set of v under the empty
+// initial context.
+func (d *DynSum) PointsTo(v pag.NodeID) (*PointsToSet, error) {
+	return d.PointsToCtx(v, intstack.Empty)
+}
+
+// PointsToCtx computes the points-to set of v in the given calling context
+// (an ID in the engine's context table). This is DYNSUM(v, c) of paper
+// Algorithm 4.
+func (d *DynSum) PointsToCtx(v pag.NodeID, ctx intstack.ID) (*PointsToSet, error) {
+	d.metrics.Queries++
+	bud := NewBudget(d.cfg.Budget)
+	return RunDriver(d.g, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, bud, &d.metrics, d.Tracer)
+}
+
+// dynSummarizer adapts DynSum's cached PPTA to the driver interface.
+type dynSummarizer DynSum
+
+// SliceFields implements FieldSlicer for trace rendering.
+func (ds *dynSummarizer) SliceFields(fs intstack.ID) []intstack.Sym {
+	return (*DynSum)(ds).fields.Slice(fs)
+}
+
+// Summarize returns the PPTA result for the state, from the cache when
+// possible (Algorithm 4, lines 5-9). Nodes without local edges bypass both
+// the PPTA and the cache (paper §4.3).
+func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *Budget) (Summary, bool, error) {
+	d := (*DynSum)(ds)
+	if !d.g.HasLocalEdges(n) {
+		return Summary{Frontier: []FrontierState{{Node: n, Fs: fs, St: st}}}, false, nil
+	}
+	key := pptaState{node: n, fs: fs, st: st}
+	if !d.DisableCache {
+		if r, ok := d.cache[key]; ok {
+			d.metrics.CacheHits++
+			return r.summary(), true, nil
+		}
+		d.metrics.CacheMisses++
+	}
+	r, err := runPPTA(d.g, d.fields, key, d.cfg, bud, &d.metrics)
+	if err != nil {
+		return Summary{}, false, err
+	}
+	d.metrics.Summaries++
+	if d.Tracer != nil {
+		d.Tracer(TraceEvent{Node: n, Fields: d.fields.Slice(fs), State: st, Kind: "ppta"})
+	}
+	if !d.DisableCache {
+		d.cache[key] = r
+	}
+	return r.summary(), false, nil
+}
+
+// summary converts the internal PPTA result to the driver form.
+func (r *pptaResult) summary() Summary {
+	fr := make([]FrontierState, len(r.frontier))
+	for i, f := range r.frontier {
+		fr[i] = FrontierState{Node: f.node, Fs: f.fs, St: f.st}
+	}
+	return Summary{Objects: r.objs, Frontier: fr}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// This file implements the Partial Points-To Analysis (PPTA) of paper
+// Algorithm 3 (DSPOINTSTO): a field-sensitive but context-independent
+// closure over the local edges (new/assign/load/store) of one method.
+//
+// Starting from a state (node, field-stack, direction), the PPTA follows
+// the pointsTo and alias RSMs of paper Figure 3(a) across local edges only
+// and produces
+//
+//   - the objects that flow to the start node entirely through local edges
+//     with the field stack fully matched, and
+//   - the frontier: every reached state whose node touches a global edge
+//     in the direction the traversal would continue (incoming for S1,
+//     outgoing for S2; Algorithm 3 lines 15-16 and 28-29).
+//
+// Because local edges never change the calling context, the result is
+// reusable under every context — the paper's central observation — and is
+// cached by the driver keyed on the full start state.
+//
+// Transition rules (value-flow edge orientation; derived from the paper's
+// listings and validated step-by-step against the Table 1 trace — see
+// DESIGN.md §4):
+//
+//	S1 at n (traversing flowsTo-bar, over incoming edges):
+//	  new o→n:      field stack empty → emit o;
+//	                otherwise for each o→new→z continue (z, f, S2)
+//	  assign x→n:   continue (x, f, S1)
+//	  load(g) x→n:  continue (x, push(f,g), S1)
+//
+//	S2 at n (traversing flowsTo, over outgoing edges + incoming stores):
+//	  assign n→y:          continue (y, f, S2)
+//	  load(g) n→y:         if top(f)=g continue (y, pop(f), S2)
+//	  store(g) n→x (out):  continue (x, push(f,g), S1)
+//	  store(g) y→n (in):   if top(f)=g continue (y, pop(f), S1)
+
+// pptaState is one visited PPTA state.
+type pptaState struct {
+	node pag.NodeID
+	fs   intstack.ID
+	st   State
+}
+
+// pptaResult is one method summary: the cached outcome of a PPTA run.
+type pptaResult struct {
+	objs     []pag.NodeID
+	frontier []pptaState
+}
+
+// identityResult is the degenerate summary for nodes without local edges:
+// the driver continues from the start state directly (paper §4.3 notes the
+// PPTA is skipped in this case).
+func identityResult(n pag.NodeID, fs intstack.ID, st State) *pptaResult {
+	return &pptaResult{frontier: []pptaState{{node: n, fs: fs, st: st}}}
+}
+
+// runPPTA computes DSPOINTSTO(start) with an explicit work stack. Visits
+// and edge traversals are charged to bud; depth overflow and budget
+// exhaustion abort the whole query (the result must not be cached then).
+func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, bud *Budget, m *Metrics) (*pptaResult, error) {
+	res := &pptaResult{}
+	visited := map[pptaState]bool{start: true}
+	work := []pptaState{start}
+
+	push := func(s pptaState) {
+		if !visited[s] {
+			visited[s] = true
+			work = append(work, s)
+		}
+	}
+
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		m.PPTAVisits++
+
+		switch cur.st {
+		case S1:
+			// Frontier: a global edge flows into cur.node
+			// (Algorithm 3, lines 15-16).
+			if g.HasGlobalIn(cur.node) {
+				res.frontier = append(res.frontier, cur)
+			}
+			for _, e := range g.In(cur.node) {
+				if !e.Kind.IsLocal() {
+					continue
+				}
+				if !bud.Step() {
+					return nil, ErrBudget
+				}
+				m.EdgesTraversed++
+				switch e.Kind {
+				case pag.New:
+					if cur.fs == intstack.Empty {
+						res.objs = append(res.objs, e.Src)
+					} else {
+						// "new new-bar": hop through the object to every
+						// variable it is assigned to and flip direction.
+						for _, e2 := range g.Out(e.Src) {
+							if e2.Kind == pag.New {
+								push(pptaState{node: e2.Dst, fs: cur.fs, st: S2})
+							}
+						}
+					}
+				case pag.Assign:
+					push(pptaState{node: e.Src, fs: cur.fs, st: S1})
+				case pag.Load:
+					if fields.Depth(cur.fs) >= cfg.MaxFieldDepth {
+						return nil, ErrDepth
+					}
+					push(pptaState{node: e.Src, fs: fields.Push(cur.fs, e.Label), st: S1})
+				}
+			}
+
+		case S2:
+			// Frontier: a global edge flows out of cur.node
+			// (Algorithm 3, lines 28-29).
+			if g.HasGlobalOut(cur.node) {
+				res.frontier = append(res.frontier, cur)
+			}
+			for _, e := range g.Out(cur.node) {
+				if !e.Kind.IsLocal() {
+					continue
+				}
+				if !bud.Step() {
+					return nil, ErrBudget
+				}
+				m.EdgesTraversed++
+				switch e.Kind {
+				case pag.Assign:
+					push(pptaState{node: e.Dst, fs: cur.fs, st: S2})
+				case pag.Load:
+					if top, ok := fields.Peek(cur.fs); ok && top == e.Label {
+						push(pptaState{node: e.Dst, fs: fields.Pop(cur.fs), st: S2})
+					}
+				case pag.Store:
+					// The held value is written into base.g: search for
+					// aliases of the base (alias starts with flowsTo-bar).
+					if fields.Depth(cur.fs) >= cfg.MaxFieldDepth {
+						return nil, ErrDepth
+					}
+					push(pptaState{node: e.Dst, fs: fields.Push(cur.fs, e.Label), st: S1})
+				}
+			}
+			for _, e := range g.In(cur.node) {
+				if e.Kind != pag.Store {
+					continue
+				}
+				if !bud.Step() {
+					return nil, ErrBudget
+				}
+				m.EdgesTraversed++
+				// cur.node aliases the base of the pending load: the
+				// loaded value came from the stored source.
+				if top, ok := fields.Peek(cur.fs); ok && top == e.Label {
+					push(pptaState{node: e.Src, fs: fields.Pop(cur.fs), st: S1})
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynsum/internal/core"
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// pair is a compact generator-friendly element.
+type pair struct {
+	Obj uint8
+	Ctx uint8
+}
+
+func buildSet(pairs []pair) *core.PointsToSet {
+	s := core.NewPointsToSet()
+	for _, p := range pairs {
+		s.Add(pag.NodeID(p.Obj), intstack.ID(p.Ctx))
+	}
+	return s
+}
+
+// TestQuickSetLaws checks the PointsToSet algebra on random contents:
+// idempotent add, union upper bound, subset/equal consistency, and object
+// projection soundness.
+func TestQuickSetLaws(t *testing.T) {
+	law := func(xs, ys []pair) bool {
+		a, b := buildSet(xs), buildSet(ys)
+
+		// Add is idempotent: re-adding everything changes nothing.
+		n := a.Len()
+		for _, p := range xs {
+			if a.Add(pag.NodeID(p.Obj), intstack.ID(p.Ctx)) {
+				return false
+			}
+		}
+		if a.Len() != n {
+			return false
+		}
+
+		// Union is an upper bound of both operands.
+		u := core.NewPointsToSet()
+		u.AddAll(a)
+		u.AddAll(b)
+		if !a.ObjectsSubsetOf(u) || !b.ObjectsSubsetOf(u) {
+			return false
+		}
+		for _, hc := range a.Pairs() {
+			if !u.Has(hc.Obj, hc.Ctx) {
+				return false
+			}
+		}
+
+		// Equal is reflexive and consistent with SameObjects.
+		if !a.Equal(a) || !a.SameObjects(a) {
+			return false
+		}
+		if a.Equal(b) && !a.SameObjects(b) {
+			return false
+		}
+
+		// Every object in the projection has a witness pair.
+		for _, o := range a.Objects() {
+			if !a.HasObject(o) {
+				return false
+			}
+		}
+
+		// Intersects is symmetric.
+		return core.Intersects(a, b) == core.Intersects(b, a)
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUnionCommutes: AddAll in either order yields equal sets.
+func TestQuickUnionCommutes(t *testing.T) {
+	law := func(xs, ys []pair) bool {
+		a, b := buildSet(xs), buildSet(ys)
+		ab := core.NewPointsToSet()
+		ab.AddAll(a)
+		ab.AddAll(b)
+		ba := core.NewPointsToSet()
+		ba.AddAll(b)
+		ba.AddAll(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

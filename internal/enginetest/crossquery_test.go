@@ -1,0 +1,67 @@
+package enginetest
+
+import (
+	"fmt"
+	"testing"
+
+	"dynsum/internal/core"
+	"dynsum/internal/fixture"
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+	"dynsum/internal/refine"
+	"dynsum/internal/stasum"
+)
+
+func newStaWithGamma(prog *pag.Program, ctxs *intstack.Table, k int) *stasum.Engine {
+	return stasum.New(prog.G, bigBudget, ctxs, stasum.WithMaxGamma(k))
+}
+
+// TestCrossQueryMemoPreservesAnswers: REFINEPTS with the cross-query memo
+// extension (see internal/refine) must answer exactly like the default
+// within-query configuration on random workloads — the dependency-replay
+// machinery makes the cache transparent.
+func TestCrossQueryMemoPreservesAnswers(t *testing.T) {
+	for seed := int64(500); seed < 512; seed++ {
+		prog := fixture.RandProgram(seed, fixture.RandConfig{
+			Methods: 4, Calls: 5, Globals: 1, GlobalAssigns: 2,
+		})
+		ctxs := new(intstack.Table)
+		plain := refine.NewRefinePts(prog.G, bigBudget, ctxs)
+		memo := refine.NewRefinePts(prog.G, bigBudget, ctxs)
+		memo.CrossQueryMemo = true
+		for _, v := range fixture.AllLocals(prog) {
+			a, errA := plain.PointsTo(v)
+			b, errB := memo.PointsTo(v)
+			compareOn(t, fmt.Sprintf("seed %d", seed), prog.G, v, a, b, errA, errB, true)
+		}
+	}
+}
+
+// TestStasumGammaSweepSoundness: shrinking the k-limit may only turn
+// answers into conservative failures, never into different answers.
+func TestStasumGammaSweepSoundness(t *testing.T) {
+	for seed := int64(600); seed < 608; seed++ {
+		prog := fixture.RandProgram(seed, fixture.RandConfig{
+			Methods: 4, Calls: 5, Globals: 1, GlobalAssigns: 2,
+		})
+		ctxs := new(intstack.Table)
+		dyn := core.NewDynSum(prog.G, bigBudget, ctxs)
+		for _, k := range []int{1, 2, 4} {
+			sta := newStaWithGamma(prog, ctxs, k)
+			for _, v := range fixture.AllLocals(prog) {
+				want, errW := dyn.PointsTo(v)
+				got, errG := sta.PointsTo(v)
+				if errW != nil || errG != nil {
+					if errG != nil && !conservative(errG) {
+						t.Fatalf("seed %d k=%d: %v", seed, k, errG)
+					}
+					continue
+				}
+				if !want.Equal(got) {
+					t.Errorf("seed %d k=%d: pts(%s): DYNSUM %v != STASUM %v",
+						seed, k, prog.G.NodeString(v), want, got)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package fixture
+
+import (
+	"testing"
+
+	"dynsum/internal/pag"
+)
+
+func TestAllMicrosValid(t *testing.T) {
+	micros := map[string]*Micro{
+		"AssignChain":           AssignChain(5),
+		"FieldPair":             FieldPair(),
+		"TwoFields":             TwoFields(),
+		"CallReturn":            CallReturn(),
+		"ContextSeparation":     ContextSeparation(),
+		"GlobalFlow":            GlobalFlow(),
+		"PointsToCycle":         PointsToCycle(),
+		"FieldCycleThroughCall": FieldCycleThroughCall(),
+	}
+	for name, m := range micros {
+		t.Run(name, func(t *testing.T) {
+			if err := m.Prog.G.Validate(); err != nil {
+				t.Fatalf("invalid PAG: %v", err)
+			}
+			if m.Query == pag.NoNode {
+				t.Fatal("no query node")
+			}
+			for _, o := range append(append([]pag.NodeID{}, m.Want...), m.Not...) {
+				if m.Prog.G.Node(o).Kind != pag.Object {
+					t.Errorf("expectation %s is not an object", m.Prog.G.NodeString(o))
+				}
+			}
+		})
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	f := BuildFigure2()
+	g := f.Prog.G
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	s := g.Stats()
+	// The paper's PAG: 7 objects (o5, o25-o30), methods Vector.{<init>,
+	// add, get}, Client.{<init>, <init>#1, set, retrieve}, Main.main.
+	if s.Objects != 7 {
+		t.Errorf("objects = %d, want 7", s.Objects)
+	}
+	if s.Methods != 8 {
+		t.Errorf("methods = %d, want 8", s.Methods)
+	}
+	if s.GlobalVars != 0 || s.Edges[pag.AssignGlobal] != 0 {
+		t.Error("figure 2 has no globals")
+	}
+	// Call sites at lines 22, 25-33.
+	if len(f.Site) != 10 {
+		t.Errorf("call sites = %d, want 10", len(f.Site))
+	}
+	// Subtyping used by the SafeCast sites.
+	if !g.SubtypeOf(f.IntegerCls, f.ObjectCls) || g.SubtypeOf(f.IntegerCls, f.StringCls) {
+		t.Error("class hierarchy wrong")
+	}
+	if len(f.Prog.Casts) != 2 || len(f.Prog.Derefs) != 2 {
+		t.Errorf("client sites: %d casts, %d derefs", len(f.Prog.Casts), len(f.Prog.Derefs))
+	}
+}
+
+func TestRandProgramValidAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := RandProgram(seed, RandConfig{Globals: 2, GlobalAssigns: 3})
+		if err := p.G.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(AllLocals(p)) == 0 {
+			t.Fatalf("seed %d: no locals", seed)
+		}
+	}
+}
+
+func TestRandProgramDeterministic(t *testing.T) {
+	a := RandProgram(7, RandConfig{})
+	b := RandProgram(7, RandConfig{})
+	if a.G.NumNodes() != b.G.NumNodes() || a.G.NumEdges() != b.G.NumEdges() {
+		t.Error("same seed produced different programs")
+	}
+}
+
+func TestRandProgramAcyclicCallGraph(t *testing.T) {
+	// In the default (non-recursive) mode the callee method index always
+	// exceeds the caller's, so the call graph is a DAG.
+	p := RandProgram(11, RandConfig{Methods: 6, Calls: 10})
+	g := p.G
+	for cs := 0; cs < g.NumCallSites(); cs++ {
+		info := g.CallSiteInfo(pag.CallSiteID(cs))
+		for _, target := range info.Targets {
+			if target <= info.Caller {
+				t.Errorf("call site %d: caller %d -> callee %d breaks acyclicity",
+					cs, info.Caller, target)
+			}
+		}
+	}
+}

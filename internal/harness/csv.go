@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"dynsum/internal/pag"
+)
+
+// This file emits the experiment data as CSV for external plotting: one
+// writer per table/figure, column layouts mirroring the text renderers.
+
+// WriteTable3CSV emits the benchmark statistics.
+func WriteTable3CSV(w io.Writer, opts Options) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"bench", "methods", "objects", "localvars", "globalvars",
+		"new", "assign", "load", "store", "entry", "exit", "assignglobal",
+		"locality", "paper_locality", "q_safecast", "q_nullderef", "q_factorym",
+	}); err != nil {
+		return err
+	}
+	for _, r := range RunTable3(opts) {
+		s := r.Stats
+		rec := []string{
+			r.Bench, itoa(s.Methods), itoa(s.Objects), itoa(s.LocalVars), itoa(s.GlobalVars),
+			itoa(s.Edges[pag.New]), itoa(s.Edges[pag.Assign]), itoa(s.Edges[pag.Load]),
+			itoa(s.Edges[pag.Store]), itoa(s.Edges[pag.Entry]), itoa(s.Edges[pag.Exit]),
+			itoa(s.Edges[pag.AssignGlobal]),
+			ftoa(s.Locality()), ftoa(r.PaperLocality),
+			itoa(r.QSafe), itoa(r.QNull), itoa(r.QFactory),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return cw.Error()
+}
+
+// WriteTable4CSV emits one row per (bench, client, engine) measurement.
+func WriteTable4CSV(w io.Writer, opts Options) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"bench", "client", "engine", "micros", "edges", "queries",
+		"proven", "violations", "unknown",
+	}); err != nil {
+		return err
+	}
+	for _, row := range RunTable4(opts) {
+		for _, eng := range EngineNames {
+			c := row.Cells[eng]
+			rec := []string{
+				row.Bench, row.Client, eng,
+				fmt.Sprint(c.Time.Microseconds()), fmt.Sprint(c.Edges),
+				itoa(c.Report.Queries), itoa(c.Report.Proven),
+				itoa(c.Report.Violations), itoa(c.Report.Unknown),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Error()
+}
+
+// WriteFigure4CSV emits one row per (bench, client, batch).
+func WriteFigure4CSV(w io.Writer, opts Options) error {
+	opts = opts.WithDefaults()
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"bench", "client", "batch", "normalized_time", "work_ratio", "dyn_edges", "ref_edges"}); err != nil {
+		return err
+	}
+	for _, client := range []string{"SafeCast", "NullDeref", "FactoryM"} {
+		for _, bench := range Figure4Benchmarks {
+			if _, ok := profileScaled(opts, bench); !ok {
+				continue
+			}
+			s := RunFigure4(opts, bench, client)
+			for i := range s.Normalized {
+				rec := []string{
+					bench, client, itoa(i + 1),
+					ftoa(s.Normalized[i]), ftoa(s.WorkRatio[i]),
+					fmt.Sprint(s.DynEdges[i]), fmt.Sprint(s.RefEdges[i]),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return cw.Error()
+}
+
+// WriteFigure5CSV emits one row per (bench, client, batch).
+func WriteFigure5CSV(w io.Writer, opts Options) error {
+	opts = opts.WithDefaults()
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"bench", "client", "batch", "dyn_summaries", "stasum_total", "percent"}); err != nil {
+		return err
+	}
+	for _, client := range []string{"SafeCast", "NullDeref", "FactoryM"} {
+		for _, bench := range Figure4Benchmarks {
+			if _, ok := profileScaled(opts, bench); !ok {
+				continue
+			}
+			s := RunFigure5(opts, bench, client)
+			for i := range s.Percent {
+				rec := []string{
+					bench, client, itoa(i + 1),
+					itoa(s.DynCumulative[i]), itoa(s.StaSumTotal), ftoa(s.Percent[i]),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return cw.Error()
+}
+
+func itoa(i int) string     { return fmt.Sprintf("%d", i) }
+func ftoa(f float64) string { return fmt.Sprintf("%.3f", f) }

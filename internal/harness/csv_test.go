@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, out string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return recs
+}
+
+func TestTable3CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTable3CSV(&sb, testOpts); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 4 { // header + 3 benches
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if recs[0][0] != "bench" || len(recs[1]) != len(recs[0]) {
+		t.Errorf("bad header/row shape: %v / %v", recs[0], recs[1])
+	}
+}
+
+func TestTable4CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTable4CSV(&sb, testOpts); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 1+3*3*3 { // header + benches x clients x engines
+		t.Fatalf("records = %d, want 28", len(recs))
+	}
+}
+
+func TestFigureCSVs(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure4CSV(&sb, testOpts); err != nil {
+		t.Fatal(err)
+	}
+	f4 := parseCSV(t, sb.String())
+	if len(f4) < 10 {
+		t.Errorf("figure4 records = %d, want >= 10", len(f4))
+	}
+	sb.Reset()
+	if err := WriteFigure5CSV(&sb, testOpts); err != nil {
+		t.Fatal(err)
+	}
+	f5 := parseCSV(t, sb.String())
+	if len(f5) < 10 {
+		t.Errorf("figure5 records = %d, want >= 10", len(f5))
+	}
+	for _, rec := range f5[1:] {
+		if rec[4] == "0" {
+			t.Errorf("stasum_total is zero in %v", rec)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"dynsum/internal/core"
+	"dynsum/internal/stasum"
+)
+
+// Figure5Series is one benchmark's cumulative-summary series for one
+// client (paper Figure 5): after each batch of queries, the number of PPTA
+// summaries DYNSUM has cached so far, as a percentage of the summaries
+// STASUM precomputes offline for the whole program.
+type Figure5Series struct {
+	Bench         string
+	Client        string
+	StaSumTotal   int
+	DynCumulative []int     // after each batch
+	Percent       []float64 // DynCumulative / StaSumTotal * 100
+}
+
+// RunFigure5 produces the series for one benchmark and client.
+func RunFigure5(opts Options, bench, client string) Figure5Series {
+	opts = opts.WithDefaults()
+	p, ok := profileScaled(opts, bench)
+	if !ok {
+		panic("harness: unknown benchmark " + bench)
+	}
+	prog := opts.generate(p)
+	n := queryCount(prog, client)
+	per := n / opts.Batches
+	if per == 0 {
+		per = 1
+	}
+
+	sta := stasum.New(prog.G, opts.config(), nil)
+	dyn := core.NewDynSum(prog.G, opts.config(), nil)
+
+	series := Figure5Series{Bench: bench, Client: client, StaSumTotal: sta.SummaryCount()}
+	for b := 0; b < opts.Batches; b++ {
+		lo, hi := b*per, (b+1)*per
+		if b == opts.Batches-1 {
+			hi = n
+		}
+		if lo >= n {
+			break
+		}
+		batch := subProgram(prog, client, lo, hi)
+		timedClient(client, batch, dyn)
+		series.DynCumulative = append(series.DynCumulative, dyn.SummaryCount())
+		pct := 0.0
+		if series.StaSumTotal > 0 {
+			pct = 100 * float64(dyn.SummaryCount()) / float64(series.StaSumTotal)
+		}
+		series.Percent = append(series.Percent, pct)
+	}
+	return series
+}
+
+// FinalPercent returns the last cumulative percentage (the figure's
+// headline statistic: 41.3 / 47.7 / 37.3 % on average in the paper).
+func (s Figure5Series) FinalPercent() float64 {
+	if len(s.Percent) == 0 {
+		return 0
+	}
+	return s.Percent[len(s.Percent)-1]
+}
+
+// WriteFigure5 renders the series for the paper's three benchmarks.
+func WriteFigure5(w io.Writer, opts Options) {
+	opts = opts.WithDefaults()
+	fmt.Fprintf(w, "Figure 5: cumulative DYNSUM summaries as %% of STASUM's offline total (scale %.3f)\n", opts.Scale)
+	for _, client := range []string{"SafeCast", "NullDeref", "FactoryM"} {
+		fmt.Fprintf(w, "\n[%s]\n", client)
+		var series []Figure5Series
+		var names []string
+		for _, b := range Figure4Benchmarks {
+			if _, ok := profileScaled(opts, b); !ok {
+				continue
+			}
+			series = append(series, RunFigure5(opts, b, client))
+			names = append(names, b)
+		}
+		tw := newTabWriter(w)
+		fmt.Fprint(tw, "batch")
+		for i, n := range names {
+			fmt.Fprintf(tw, "\t%s(%% of %d)", n, series[i].StaSumTotal)
+		}
+		fmt.Fprintln(tw)
+		for i := 0; i < opts.Batches; i++ {
+			fmt.Fprintf(tw, "%d", i+1)
+			for _, s := range series {
+				if i < len(s.Percent) {
+					fmt.Fprintf(tw, "\t%.1f%%", s.Percent[i])
+				} else {
+					fmt.Fprint(tw, "\t-")
+				}
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+		avg := 0.0
+		for _, s := range series {
+			avg += s.FinalPercent()
+		}
+		if len(series) > 0 {
+			avg /= float64(len(series))
+		}
+		fmt.Fprintf(w, "average final: %.1f%% (paper averages: SafeCast 41.3%%, NullDeref 47.7%%, FactoryM 37.3%%)\n", avg)
+	}
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"dynsum/internal/pag"
+)
+
+// Table3Row is one benchmark-statistics row (paper Table 3).
+type Table3Row struct {
+	Bench    string
+	Stats    pag.Stats
+	QSafe    int
+	QNull    int
+	QFactory int
+	// PaperLocality is the locality the paper reports for this benchmark,
+	// for side-by-side comparison.
+	PaperLocality float64
+}
+
+// RunTable3 generates each selected benchmark and collects its statistics.
+func RunTable3(opts Options) []Table3Row {
+	opts = opts.WithDefaults()
+	var rows []Table3Row
+	for _, p := range opts.profiles() {
+		prog := opts.generate(p)
+		rows = append(rows, Table3Row{
+			Bench:         p.Name,
+			Stats:         prog.G.Stats(),
+			QSafe:         len(prog.Casts),
+			QNull:         len(prog.Derefs),
+			QFactory:      len(prog.Factories),
+			PaperLocality: p.Locality(),
+		})
+	}
+	return rows
+}
+
+// WriteTable3 renders Table 3 in the paper's column layout.
+func WriteTable3(w io.Writer, opts Options) {
+	opts = opts.WithDefaults()
+	fmt.Fprintf(w, "Table 3: benchmark statistics (scale %.3f, seed %d)\n", opts.Scale, opts.Seed)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Benchmark\t#Methods\tO\tV\tG\tnew\tassign\tload\tstore\tentry\texit\tassignglobal\tLocality\tpaper\tSafeCast\tNullDeref\tFactoryM")
+	for _, r := range RunTable3(opts) {
+		s := r.Stats
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\t%.1f%%\t%d\t%d\t%d\n",
+			r.Bench, s.Methods, s.Objects, s.LocalVars, s.GlobalVars,
+			s.Edges[pag.New], s.Edges[pag.Assign], s.Edges[pag.Load], s.Edges[pag.Store],
+			s.Edges[pag.Entry], s.Edges[pag.Exit], s.Edges[pag.AssignGlobal],
+			s.Locality(), r.PaperLocality, r.QSafe, r.QNull, r.QFactory)
+	}
+	tw.Flush()
+}

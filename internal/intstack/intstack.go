@@ -1,0 +1,188 @@
+// Package intstack provides hash-consed persistent stacks of int32 symbols.
+//
+// The demand-driven CFL-reachability engines in this repository manipulate
+// two kinds of balanced-parentheses stacks: field stacks (pending load/store
+// field labels, paper §3.2) and context stacks (pending call-site labels,
+// paper §3.3). Both are persistent: Push and Pop return new stacks without
+// mutating their input, so a stack can be stored in a worklist tuple or used
+// as part of a summary-cache key.
+//
+// Stacks are hash-consed inside a Table: a stack is represented by a dense
+// ID such that two stacks with equal contents always have equal IDs. This
+// makes stack comparison O(1) and lets IDs be embedded directly in map keys,
+// which is exactly what DYNSUM's summary cache (paper Algorithm 4, line 5)
+// needs for its ⟨node, field-stack, state⟩ keys.
+//
+// The zero value of Table is ready to use. Table is not safe for concurrent
+// mutation; each analysis engine owns its own tables.
+package intstack
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sym is a stack symbol: a field ID for field stacks or a call-site ID for
+// context stacks. The interpretation is up to the caller.
+type Sym = int32
+
+// ID identifies an interned stack within a Table. The zero ID is always the
+// empty stack, for every Table.
+type ID int32
+
+// Empty is the ID of the empty stack in every Table.
+const Empty ID = 0
+
+// cell is one interned (parent, sym) pair.
+type cell struct {
+	parent ID
+	sym    Sym
+	depth  int32
+}
+
+type key struct {
+	parent ID
+	sym    Sym
+}
+
+// Table interns stacks. The zero value is an empty, usable table.
+type Table struct {
+	cells []cell     // cells[0] is a sentinel for the empty stack
+	index map[key]ID // (parent, sym) -> interned ID
+}
+
+// ensureInit lazily installs the empty-stack sentinel so that the zero
+// value of Table works without a constructor.
+func (t *Table) ensureInit() {
+	if t.cells == nil {
+		t.cells = make([]cell, 1, 64) // cells[0]: empty stack sentinel
+		t.index = make(map[key]ID)
+	}
+}
+
+// Len reports the number of distinct non-empty stacks interned so far.
+func (t *Table) Len() int {
+	if t.cells == nil {
+		return 0
+	}
+	return len(t.cells) - 1
+}
+
+// Push returns the stack obtained by pushing sym onto s.
+func (t *Table) Push(s ID, sym Sym) ID {
+	t.ensureInit()
+	k := key{s, sym}
+	if id, ok := t.index[k]; ok {
+		return id
+	}
+	id := ID(len(t.cells))
+	t.cells = append(t.cells, cell{parent: s, sym: sym, depth: t.cells[s].depth + 1})
+	t.index[k] = id
+	return id
+}
+
+// Pop returns the stack below the top of s. Pop of the empty stack returns
+// the empty stack; callers that need exact matching must Peek first.
+func (t *Table) Pop(s ID) ID {
+	if s == Empty {
+		return Empty
+	}
+	return t.cells[s].parent
+}
+
+// Peek returns the top symbol of s. ok is false iff s is empty.
+func (t *Table) Peek(s ID) (sym Sym, ok bool) {
+	if s == Empty {
+		return 0, false
+	}
+	return t.cells[s].sym, true
+}
+
+// Depth returns the number of symbols on s.
+func (t *Table) Depth(s ID) int {
+	if s == Empty {
+		return 0
+	}
+	return int(t.cells[s].depth)
+}
+
+// Top returns the top symbol of s, or def if s is empty.
+func (t *Table) Top(s ID, def Sym) Sym {
+	if sym, ok := t.Peek(s); ok {
+		return sym
+	}
+	return def
+}
+
+// Slice returns the symbols of s from top to bottom. The empty stack yields
+// a nil slice.
+func (t *Table) Slice(s ID) []Sym {
+	if s == Empty {
+		return nil
+	}
+	out := make([]Sym, 0, t.Depth(s))
+	for s != Empty {
+		out = append(out, t.cells[s].sym)
+		s = t.cells[s].parent
+	}
+	return out
+}
+
+// Of builds a stack from symbols given bottom-to-top, so
+// Of(a, b, c) has c on top.
+func (t *Table) Of(syms ...Sym) ID {
+	s := Empty
+	for _, sym := range syms {
+		s = t.Push(s, sym)
+	}
+	return s
+}
+
+// PushAll pushes syms onto s in order (last element of syms ends on top).
+func (t *Table) PushAll(s ID, syms ...Sym) ID {
+	for _, sym := range syms {
+		s = t.Push(s, sym)
+	}
+	return s
+}
+
+// HasPrefix reports whether the top of s, read downward, equals prefix
+// (prefix[0] is compared with the top symbol).
+func (t *Table) HasPrefix(s ID, prefix []Sym) bool {
+	for _, want := range prefix {
+		sym, ok := t.Peek(s)
+		if !ok || sym != want {
+			return false
+		}
+		s = t.Pop(s)
+	}
+	return true
+}
+
+// DropPrefix removes len(prefix) symbols from the top of s; it must be
+// called only when HasPrefix(s, prefix) holds.
+func (t *Table) DropPrefix(s ID, prefix []Sym) ID {
+	for range prefix {
+		s = t.Pop(s)
+	}
+	return s
+}
+
+// String formats s as "[top,…,bottom]" using the raw symbol values.
+func (t *Table) String(s ID) string {
+	return t.Format(s, func(sym Sym) string { return fmt.Sprint(sym) })
+}
+
+// Format formats s as "[top,…,bottom]" rendering each symbol with name.
+func (t *Table) Format(s ID, name func(Sym) string) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, sym := range t.Slice(s) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name(sym))
+	}
+	b.WriteByte(']')
+	return b.String()
+}

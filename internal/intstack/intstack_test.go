@@ -1,0 +1,220 @@
+package intstack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyStack(t *testing.T) {
+	var tab Table
+	if got := tab.Depth(Empty); got != 0 {
+		t.Errorf("Depth(Empty) = %d, want 0", got)
+	}
+	if _, ok := tab.Peek(Empty); ok {
+		t.Error("Peek(Empty) reported ok")
+	}
+	if got := tab.Pop(Empty); got != Empty {
+		t.Errorf("Pop(Empty) = %d, want Empty", got)
+	}
+	if got := tab.Slice(Empty); got != nil {
+		t.Errorf("Slice(Empty) = %v, want nil", got)
+	}
+	if got := tab.String(Empty); got != "[]" {
+		t.Errorf("String(Empty) = %q, want []", got)
+	}
+	if got := tab.Len(); got != 0 {
+		t.Errorf("Len() = %d, want 0 before any Push", got)
+	}
+}
+
+func TestPushPopPeek(t *testing.T) {
+	var tab Table
+	s1 := tab.Push(Empty, 7)
+	s2 := tab.Push(s1, 9)
+
+	if sym, ok := tab.Peek(s2); !ok || sym != 9 {
+		t.Errorf("Peek(s2) = %d,%v, want 9,true", sym, ok)
+	}
+	if got := tab.Pop(s2); got != s1 {
+		t.Errorf("Pop(s2) = %d, want s1=%d", got, s1)
+	}
+	if got := tab.Depth(s2); got != 2 {
+		t.Errorf("Depth(s2) = %d, want 2", got)
+	}
+	if got := tab.Slice(s2); !reflect.DeepEqual(got, []Sym{9, 7}) {
+		t.Errorf("Slice(s2) = %v, want [9 7]", got)
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	var tab Table
+	a := tab.PushAll(Empty, 1, 2, 3)
+	b := tab.Push(tab.Push(tab.Push(Empty, 1), 2), 3)
+	if a != b {
+		t.Errorf("equal stacks interned to different IDs: %d vs %d", a, b)
+	}
+	// Push then Pop must return the identical ID, not a copy.
+	if got := tab.Pop(tab.Push(a, 42)); got != a {
+		t.Errorf("Pop(Push(a,42)) = %d, want a=%d", got, a)
+	}
+	if tab.Len() != 4 { // [1], [1,2], [1,2,3], [1,2,3,42]
+		t.Errorf("Len() = %d, want 4", tab.Len())
+	}
+}
+
+func TestOfOrdering(t *testing.T) {
+	var tab Table
+	// Of takes bottom-to-top; Slice returns top-to-bottom.
+	s := tab.Of(1, 2, 3)
+	if got := tab.Slice(s); !reflect.DeepEqual(got, []Sym{3, 2, 1}) {
+		t.Errorf("Slice(Of(1,2,3)) = %v, want [3 2 1]", got)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	var tab Table
+	s := tab.Of(1, 2, 3) // top: 3,2,1
+	tests := []struct {
+		prefix []Sym
+		want   bool
+	}{
+		{nil, true},
+		{[]Sym{3}, true},
+		{[]Sym{3, 2}, true},
+		{[]Sym{3, 2, 1}, true},
+		{[]Sym{2}, false},
+		{[]Sym{3, 1}, false},
+		{[]Sym{3, 2, 1, 0}, false},
+	}
+	for _, tt := range tests {
+		if got := tab.HasPrefix(s, tt.prefix); got != tt.want {
+			t.Errorf("HasPrefix(%v, %v) = %v, want %v", tab.Slice(s), tt.prefix, got, tt.want)
+		}
+	}
+	if got := tab.DropPrefix(s, []Sym{3, 2}); got != tab.Of(1) {
+		t.Errorf("DropPrefix: got %v, want [1]", tab.Slice(got))
+	}
+}
+
+func TestFormat(t *testing.T) {
+	var tab Table
+	s := tab.Of(10, 20)
+	got := tab.Format(s, func(sym Sym) string {
+		if sym == 20 {
+			return "f"
+		}
+		return "g"
+	})
+	if got != "[f,g]" {
+		t.Errorf("Format = %q, want [f,g]", got)
+	}
+}
+
+// TestQuickRoundTrip checks that interning any random symbol sequence and
+// reading it back via Slice is the identity (property-based).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(syms []Sym) bool {
+		var tab Table
+		s := Empty
+		for _, sym := range syms {
+			s = tab.Push(s, sym)
+		}
+		got := tab.Slice(s)
+		if len(syms) == 0 {
+			return got == nil
+		}
+		for i, sym := range got {
+			if sym != syms[len(syms)-1-i] {
+				return false
+			}
+		}
+		return len(got) == len(syms)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHashConsing checks that two random interleaved builds of the same
+// sequence produce identical IDs and that depth always equals the number of
+// pushes minus pops (property-based).
+func TestQuickDepthInvariant(t *testing.T) {
+	f := func(ops []int8) bool {
+		var tab Table
+		s := Empty
+		depth := 0
+		for _, op := range ops {
+			if op >= 0 {
+				s = tab.Push(s, Sym(op))
+				depth++
+			} else if depth > 0 {
+				s = tab.Pop(s)
+				depth--
+			} else {
+				s = tab.Pop(s) // pop of empty stays empty
+			}
+			if tab.Depth(s) != depth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSharedTable interns many random stacks into one table and checks
+// that content equality coincides with ID equality.
+func TestQuickSharedTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tab Table
+	type entry struct {
+		id   ID
+		syms []Sym
+	}
+	var entries []entry
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(6)
+		syms := make([]Sym, n)
+		for j := range syms {
+			syms[j] = Sym(rng.Intn(4))
+		}
+		id := tab.PushAll(Empty, syms...)
+		entries = append(entries, entry{id, syms})
+	}
+	for i, a := range entries {
+		for _, b := range entries[i+1:] {
+			eq := reflect.DeepEqual(a.syms, b.syms) ||
+				(len(a.syms) == 0 && len(b.syms) == 0)
+			if eq != (a.id == b.id) {
+				t.Fatalf("content-eq=%v but id-eq=%v for %v vs %v",
+					eq, a.id == b.id, a.syms, b.syms)
+			}
+		}
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	var tab Table
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Push(Empty, Sym(i%64))
+	}
+}
+
+func BenchmarkPushPopDeep(b *testing.B) {
+	var tab Table
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := Empty
+		for d := 0; d < 16; d++ {
+			s = tab.Push(s, Sym(d))
+		}
+		for d := 0; d < 16; d++ {
+			s = tab.Pop(s)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package mj
+
+// The AST mirrors the surface syntax closely; paggen lowers it to PAG
+// edges with fresh temporaries, so no separate IR is needed.
+
+// File is one parsed compilation unit.
+type File struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl declares a class.
+type ClassDecl struct {
+	Name    string
+	Extends string // "" for Object-rooted classes
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+	Line    int
+}
+
+// FieldDecl declares an instance or static field.
+type FieldDecl struct {
+	Type   Type
+	Name   string
+	Static bool
+	Line   int
+}
+
+// MethodDecl declares a method or constructor (Ctor true; then Name equals
+// the class name and Ret is unused).
+type MethodDecl struct {
+	Name   string
+	Static bool
+	Ctor   bool
+	Ret    Type // TypeVoid for void
+	Params []Param
+	Body   []Stmt
+	Line   int
+}
+
+// Param is one formal parameter.
+type Param struct {
+	Type Type
+	Name string
+}
+
+// Type is a surface type: int, void, a class, or an array of a class/int.
+type Type struct {
+	Name  string // "int", "void", or class name
+	Array bool
+}
+
+// TypeVoid is the void type.
+var TypeVoid = Type{Name: "void"}
+
+// IsRef reports whether values of the type are pointers.
+func (t Type) IsRef() bool { return t.Array || (t.Name != "int" && t.Name != "void") }
+
+func (t Type) String() string {
+	if t.Array {
+		return t.Name + "[]"
+	}
+	return t.Name
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// VarDecl declares a local, optionally initialised.
+type VarDecl struct {
+	Type Type
+	Name string
+	Init Expr // may be nil
+	Line int
+}
+
+// AssignStmt is lhs = rhs. Lhs is an Ident, FieldAccess or IndexExpr.
+type AssignStmt struct {
+	Lhs  Expr
+	Rhs  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its effects (a call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// ReturnStmt returns a value (X may be nil).
+type ReturnStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt: both branches are analysed (flow-insensitivity).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt: the body is analysed once (flow-insensitivity).
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+func (*VarDecl) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Pos() int
+}
+
+// Ident references a local, parameter, field of this, or class name
+// (resolved during generation).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IntLit is an integer literal (non-pointer).
+type IntLit struct {
+	Value int
+	Line  int
+}
+
+// StrLit allocates a String object.
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+// NullLit is the null literal.
+type NullLit struct{ Line int }
+
+// ThisExpr references the receiver.
+type ThisExpr struct{ Line int }
+
+// NewObject is new C(args).
+type NewObject struct {
+	Class string
+	Args  []Expr
+	Line  int
+}
+
+// NewArray is new T[len].
+type NewArray struct {
+	Elem Type // element type (Array=false here)
+	Len  Expr
+	Line int
+}
+
+// FieldAccess is x.f (x may be a class name for static fields).
+type FieldAccess struct {
+	X    Expr
+	Name string
+	Line int
+}
+
+// IndexExpr is x[i].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Line  int
+}
+
+// CallExpr is recv.m(args), C.m(args) or m(args) (implicit this / own
+// statics). Recv may be nil for the implicit form.
+type CallExpr struct {
+	Recv Expr // nil for implicit receiver / static shorthand
+	Name string
+	Args []Expr
+	Line int
+}
+
+// CastExpr is (T) x — a SafeCast client site when T is a class type.
+type CastExpr struct {
+	Target Type
+	X      Expr
+	Line   int
+}
+
+// BinaryExpr covers arithmetic/comparison/logic (non-pointer results).
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Line int
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	Op   Kind
+	X    Expr
+	Line int
+}
+
+func (*Ident) exprNode()       {}
+func (*IntLit) exprNode()      {}
+func (*StrLit) exprNode()      {}
+func (*NullLit) exprNode()     {}
+func (*ThisExpr) exprNode()    {}
+func (*NewObject) exprNode()   {}
+func (*NewArray) exprNode()    {}
+func (*FieldAccess) exprNode() {}
+func (*IndexExpr) exprNode()   {}
+func (*CallExpr) exprNode()    {}
+func (*CastExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+
+// Pos implementations.
+func (e *Ident) Pos() int       { return e.Line }
+func (e *IntLit) Pos() int      { return e.Line }
+func (e *StrLit) Pos() int      { return e.Line }
+func (e *NullLit) Pos() int     { return e.Line }
+func (e *ThisExpr) Pos() int    { return e.Line }
+func (e *NewObject) Pos() int   { return e.Line }
+func (e *NewArray) Pos() int    { return e.Line }
+func (e *FieldAccess) Pos() int { return e.Line }
+func (e *IndexExpr) Pos() int   { return e.Line }
+func (e *CallExpr) Pos() int    { return e.Line }
+func (e *CastExpr) Pos() int    { return e.Line }
+func (e *BinaryExpr) Pos() int  { return e.Line }
+func (e *UnaryExpr) Pos() int   { return e.Line }

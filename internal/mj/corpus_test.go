@@ -1,0 +1,262 @@
+package mj_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dynsum/internal/core"
+	"dynsum/internal/mj"
+	"dynsum/internal/pag"
+)
+
+// TestOverridingDispatchPrecision: a receiver with a single concrete type
+// must dispatch only to the override, not the superclass body.
+func TestOverridingDispatchPrecision(t *testing.T) {
+	src := `
+class Animal { Object sound() { return new Object(); } }
+class Dog extends Animal { Object sound() { return new String(); } }
+class Main {
+  static void main() {
+    Dog d; Object s;
+    d = new Dog();
+    s = d.sound();
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	pts, err := d.PointsTo(info.Var("Main.main.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := pts.Objects()
+	if len(objs) != 1 {
+		t.Fatalf("pts(s) = %s, want only the override's String", pts.FormatObjects(prog.G))
+	}
+	if cls := prog.G.ClassInfo(prog.G.Node(objs[0]).Class).Name; cls != "String" {
+		t.Errorf("dispatched to %s body, want Dog.sound (String)", cls)
+	}
+}
+
+// TestInheritedFieldsAndMethods: fields and methods resolve through the
+// superclass chain.
+func TestInheritedFieldsAndMethods(t *testing.T) {
+	src := `
+class Base { Object item; void stash(Object o) { this.item = o; } }
+class Mid extends Base {}
+class Leaf extends Mid { Object grab() { return this.item; } }
+class Main {
+  static void main() {
+    Leaf l; Object a; Object r;
+    l = new Leaf();
+    a = new Object();
+    l.stash(a);
+    r = l.grab();
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	pts, err := d.PointsTo(info.Var("Main.main.r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts.Objects()) != 1 {
+		t.Errorf("pts(r) = %s, want the stashed object", pts.FormatObjects(prog.G))
+	}
+}
+
+// TestArraysOfObjects: array reads/writes collapse into the arr field but
+// remain separated per array object.
+func TestArraysOfObjects(t *testing.T) {
+	src := `
+class Main {
+  static void main() {
+    Object[] xs; Object[] ys; Object a; Object b; Object g1; Object g2;
+    xs = new Object[4];
+    ys = new Object[4];
+    a = new String();
+    b = new Object();
+    xs[0] = a;
+    ys[1] = b;
+    g1 = xs[2];
+    g2 = ys[3];
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	g1, err := d.PointsTo(info.Var("Main.main.g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := d.PointsTo(info.Var("Main.main.g2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Objects()) != 1 || len(g2.Objects()) != 1 {
+		t.Fatalf("g1=%s g2=%s, want one object each (arrays separated)",
+			g1.FormatObjects(prog.G), g2.FormatObjects(prog.G))
+	}
+	if core.Intersects(g1, g2) {
+		t.Error("distinct arrays' elements alias")
+	}
+}
+
+// TestRecursiveStructureConservative: a linked-list walk (recursive field)
+// must terminate with either an answer or a conservative failure.
+func TestRecursiveStructureConservative(t *testing.T) {
+	src := `
+class Node2 { Node2 nxt; Object payload; }
+class Main {
+  static void main() {
+    Node2 head; Node2 cur; Object p;
+    head = new Node2();
+    cur = head;
+    while (1 < 2) {
+      Node2 fresh;
+      fresh = new Node2();
+      cur.nxt = fresh;
+      cur = cur.nxt;
+    }
+    head.payload = new String();
+    p = cur.payload;
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{Budget: 50000, MaxFieldDepth: 16}, nil)
+	pts, err := d.PointsTo(info.Var("Main.main.p"))
+	if err != nil && !errors.Is(err, core.ErrBudget) && !errors.Is(err, core.ErrDepth) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err == nil && !pts.HasObject(findObjByClass(prog.G, "String")) {
+		t.Errorf("pts(p) = %s, expected the String payload", pts.FormatObjects(prog.G))
+	}
+}
+
+func findObjByClass(g *pag.Graph, cls string) pag.NodeID {
+	for i := 0; i < g.NumNodes(); i++ {
+		n := pag.NodeID(i)
+		nd := g.Node(n)
+		if nd.Kind == pag.Object && nd.Class != pag.NoClass && g.ClassInfo(nd.Class).Name == cls {
+			return n
+		}
+	}
+	return pag.NoNode
+}
+
+// TestMayAliasAcrossLibrary: alias queries through a shared container.
+func TestMayAliasAcrossLibrary(t *testing.T) {
+	src := `
+class Holder { Object v; Holder() {} void put(Object o) { this.v = o; } Object take() { return this.v; } }
+class Main {
+  static void main() {
+    Holder h1; Holder h2; Object a; Object x; Object y; Object z;
+    h1 = new Holder(); h2 = new Holder();
+    a = new Object();
+    h1.put(a);
+    h2.put(new String());
+    x = h1.take();
+    y = h2.take();
+    z = a;
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	x, y, z := info.Var("Main.main.x"), info.Var("Main.main.y"), info.Var("Main.main.z")
+	if ok, _ := core.MayAlias(d, x, z); !ok {
+		t.Error("x and z must alias (both hold a)")
+	}
+	if ok, _ := core.MayAlias(d, x, y); ok {
+		t.Error("x and y must not alias (separate holders)")
+	}
+}
+
+// TestStaticCallChain: statics calling statics across classes.
+func TestStaticCallChain(t *testing.T) {
+	src := `
+class A { static Object supply() { return B.produce(); } }
+class B { static Object produce() { return new String(); } }
+class Main {
+  static void main() {
+    Object o;
+    o = A.supply();
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	pts, err := d.PointsTo(info.Var("Main.main.o"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts.Objects()) != 1 {
+		t.Errorf("pts(o) = %s", pts.FormatObjects(prog.G))
+	}
+}
+
+// TestParseErrorLineNumbers: diagnostics carry the right line.
+func TestParseErrorLineNumbers(t *testing.T) {
+	src := "class A {\n  void f() {\n    x = ;\n  }\n}"
+	_, err := mj.Parse(src)
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q lacks line 3", err)
+	}
+}
+
+// TestCommentsAndOperators: the lexer/parser cover the full operator set.
+func TestCommentsAndOperators(t *testing.T) {
+	src := `
+// a line comment
+class Main {
+  /* a block
+     comment */
+  static void main(int k) {
+    int a; int b;
+    a = 1 + 2 * 3 - 4 / 2;
+    b = -a;
+    if (a <= b || !(a > b) && a != b) { a = b; }
+    if (a == b) { b = a; } else { b = 0; }
+    while (a < 10) { a = a + 1; }
+  }
+}
+`
+	if _, _, err := mj.Compile("ops", src); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+}
+
+// TestCastOfCallResult: casts parse around calls and parenthesised
+// expressions.
+func TestCastOfCallResult(t *testing.T) {
+	src := `
+class A { Object get() { return new String(); } }
+class Main {
+  static void main() {
+    A a; String s; Object o;
+    a = new A();
+    s = (String) a.get();
+    o = (a);
+  }
+}
+`
+	prog, _ := compile(t, src)
+	if len(prog.Casts) != 1 {
+		t.Fatalf("casts = %d, want 1", len(prog.Casts))
+	}
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	pts, err := d.PointsTo(prog.Casts[0].Var)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := pts.Objects()
+	if len(objs) != 1 || !prog.G.SubtypeOf(prog.G.Node(objs[0]).Class, prog.Casts[0].Target) {
+		t.Errorf("cast unsafe or unresolved: %s", pts.FormatObjects(prog.G))
+	}
+}

@@ -1,0 +1,121 @@
+package mj
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenises src. Line comments (//) and block comments (/* */) are
+// skipped; an unterminated block comment or string is an error.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			start := line
+			i += 2
+			for {
+				if i+1 >= n {
+					return nil, errf(start, "unterminated block comment")
+				}
+				if src[i] == '\n' {
+					line++
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				i++
+			}
+		case c == '"':
+			start := i + 1
+			j := start
+			for j < n && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j >= n || src[j] != '"' {
+				return nil, errf(line, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: STRING, Text: src[start:j], Line: line})
+			i = j + 1
+		case isDigit(c):
+			j := i
+			for j < n && isDigit(src[j]) {
+				j++
+			}
+			toks = append(toks, Token{Kind: INT, Text: src[i:j], Line: line})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if kw, ok := keywords[word]; ok {
+				toks = append(toks, Token{Kind: kw, Text: word, Line: line})
+			} else {
+				toks = append(toks, Token{Kind: IDENT, Text: word, Line: line})
+			}
+			i = j
+		default:
+			kind, width, ok := lexOp(src[i:])
+			if !ok {
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+			toks = append(toks, Token{Kind: kind, Text: src[i : i+width], Line: line})
+			i += width
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Line: line})
+	return toks, nil
+}
+
+// lexOp matches the longest punctuation/operator prefix.
+func lexOp(s string) (Kind, int, bool) {
+	two := map[string]Kind{
+		"==": EqEq, "!=": NotEq, "<=": Le, ">=": Ge, "&&": AndAnd, "||": OrOr,
+	}
+	if len(s) >= 2 {
+		if k, ok := two[s[:2]]; ok {
+			return k, 2, true
+		}
+	}
+	one := map[byte]Kind{
+		'{': LBrace, '}': RBrace, '(': LParen, ')': RParen,
+		'[': LBracket, ']': RBracket, ';': Semi, ',': Comma, '.': Dot,
+		'=': Assign, '+': Plus, '-': Minus, '*': Star, '/': Slash,
+		'<': Lt, '>': Gt, '!': Not,
+	}
+	if k, ok := one[s[0]]; ok {
+		return k, 1, true
+	}
+	return 0, 0, false
+}
+
+func isDigit(c byte) bool      { return '0' <= c && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// FormatTokens renders tokens one per line (diagnostic helper).
+func FormatTokens(toks []Token) string {
+	var b strings.Builder
+	for _, t := range toks {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,367 @@
+package mj_test
+
+import (
+	"strings"
+	"testing"
+
+	"dynsum/internal/core"
+	"dynsum/internal/mj"
+	"dynsum/internal/pag"
+)
+
+// figure2Src is the paper's Figure 2 program, verbatim modulo syntax.
+const figure2Src = `
+class Vector {
+  Object[] elems;
+  int count;
+  Vector() {
+    Object[] t;
+    t = new Object[8];
+    this.elems = t;
+  }
+  void add(Object p) {
+    Object[] t;
+    t = this.elems;
+    t[this.count] = p;
+  }
+  Object get(int i) {
+    Object[] t;
+    t = this.elems;
+    return t[i];
+  }
+}
+class Client {
+  Vector vec;
+  Client() {}
+  Client(Vector v) { this.vec = v; }
+  void set(Vector v) { this.vec = v; }
+  Object retrieve() {
+    Vector t;
+    t = this.vec;
+    return t.get(0);
+  }
+}
+class Integer {}
+class Main {
+  static void main() {
+    Vector v1; Vector v2; Client c1; Client c2; Object s1; Object s2;
+    v1 = new Vector();
+    v1.add(new Integer());
+    c1 = new Client(v1);
+    v2 = new Vector();
+    v2.add(new String());
+    c2 = new Client();
+    c2.set(v2);
+    s1 = c1.retrieve();
+    s2 = c2.retrieve();
+  }
+}
+`
+
+func compile(t *testing.T, src string) (*pag.Program, *mj.Info) {
+	t.Helper()
+	prog, info, err := mj.Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog, info
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := mj.Lex(`class A { int x; /* skip */ // line
+      Object f(Object p) { return p; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind.String())
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"'class'", "identifier", "'{'", "'int'", "'return'", "EOF"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("token stream missing %s: %s", want, joined)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "/* open", "class A { @ }"} {
+		if _, err := mj.Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"class",                            // truncated
+		"class A extends {",                // missing super name
+		"class A { void f( { } }",          // bad params
+		"class A { void f() { return }; }", // missing ;
+		"class A { void f() { 1 = 2; } }",  // bad lvalue
+		"class A { void f() { x..y; } }",   // bad expr
+		"class A { int }",                  // bad member
+	}
+	for _, src := range cases {
+		if _, err := mj.Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown super":  `class A extends B {}`,
+		"dup class":      `class A {} class A {}`,
+		"dup field":      `class A { int x; int x; }`,
+		"dup method":     `class A { void f() {} void f() {} }`,
+		"undeclared var": `class A { void f() { x = null; } }`,
+		"unknown new":    `class A { void f() { Object o; o = new B(); } }`,
+		"bad ctor args":  `class A { void f() { A x; x = new A(1); } }`,
+		"this in static": `class A { static void f() { Object o; o = this; } }`,
+		"unknown method": `class A { void f() { this.g(); } }`,
+		"unknown field":  `class A { void f() { Object o; o = this.q; } }`,
+		"cycle":          `class A extends B {} class B extends A {}`,
+		"dup local":      `class A { void f() { int x; int x; } }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := mj.Compile("bad", src); err == nil {
+				t.Errorf("Compile succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestFigure2EndToEnd(t *testing.T) {
+	prog, info := compile(t, figure2Src)
+	g := prog.G
+
+	s1 := info.Var("Main.main.s1")
+	s2 := info.Var("Main.main.s2")
+	if s1 == pag.NoNode || s2 == pag.NoNode {
+		t.Fatalf("missing s1/s2 nodes: %v", info.Vars)
+	}
+
+	d := core.NewDynSum(g, core.Config{}, nil)
+	pts1, err := d.PointsTo(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts2, err := d.PointsTo(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// pts(s1) must be exactly the Integer allocation, pts(s2) the String.
+	check := func(name string, pts *core.PointsToSet, wantClass string) {
+		objs := pts.Objects()
+		if len(objs) != 1 {
+			t.Errorf("pts(%s) = %s, want exactly 1 object", name, pts.FormatObjects(g))
+			return
+		}
+		cls := g.ClassInfo(g.Node(objs[0]).Class).Name
+		if cls != wantClass {
+			t.Errorf("pts(%s) object class = %s, want %s", name, cls, wantClass)
+		}
+	}
+	check("s1", pts1, "Integer")
+	check("s2", pts2, "String")
+}
+
+func TestFigure2Metadata(t *testing.T) {
+	prog, _ := compile(t, figure2Src)
+	if len(prog.Derefs) == 0 {
+		t.Error("no dereference sites collected")
+	}
+	// Call sites: 2 ctors + add×2 + set + retrieve×2 + get = several.
+	if prog.G.NumCallSites() < 8 {
+		t.Errorf("call sites = %d, want >= 8", prog.G.NumCallSites())
+	}
+	// Virtual calls must have been resolved to targets.
+	resolved := 0
+	for cs := 0; cs < prog.G.NumCallSites(); cs++ {
+		if len(prog.G.CallSiteInfo(pag.CallSiteID(cs)).Targets) > 0 {
+			resolved++
+		}
+	}
+	if resolved < 8 {
+		t.Errorf("resolved call sites = %d, want >= 8", resolved)
+	}
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	src := `
+class Shape { Object id(Object p) { return null; } }
+class Circle extends Shape { Object id(Object p) { return p; } }
+class Square extends Shape {}
+class Main {
+  static void main() {
+    Shape s; Object a; Object r1; Object r2;
+    a = new Object();
+    s = new Circle();
+    r1 = s.id(a);     // dispatches to Circle.id: returns a
+    s = new Square(); // Square inherits Shape.id: returns null
+    r2 = s.id(a);
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+
+	// Flow-insensitively s has both Circle and Square objects, so both
+	// call sites dispatch to both implementations; r1 must at least see
+	// the a-object via Circle.id, and the null object via Shape.id.
+	pts, err := d.PointsTo(info.Var("Main.main.r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasA, hasNull bool
+	for _, o := range pts.Objects() {
+		if prog.G.IsNullObject(o) {
+			hasNull = true
+		} else if prog.G.ClassInfo(prog.G.Node(o).Class).Name == "Object" {
+			hasA = true
+		}
+	}
+	if !hasA {
+		t.Errorf("r1 missing the argument object: %s", pts.FormatObjects(prog.G))
+	}
+	if !hasNull {
+		t.Errorf("r1 missing null from Shape.id: %s", pts.FormatObjects(prog.G))
+	}
+}
+
+func TestStaticFieldsAndMethods(t *testing.T) {
+	src := `
+class Registry {
+  static Object instance;
+  static void put(Object o) { Registry.instance = o; }
+  static Object getIt() { return Registry.instance; }
+}
+class Main {
+  static void main() {
+    Object a; Object b;
+    a = new Object();
+    Registry.put(a);
+    b = Registry.getIt();
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	pts, err := d.PointsTo(info.Var("Main.main.b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts.Objects()) != 1 {
+		t.Errorf("pts(b) = %s, want the single object through the static", pts.FormatObjects(prog.G))
+	}
+	if prog.G.EdgeKindCount(pag.AssignGlobal) == 0 {
+		t.Error("no assignglobal edges generated for static field traffic")
+	}
+}
+
+func TestCastSitesCollected(t *testing.T) {
+	src := `
+class A {}
+class B extends A {}
+class Main {
+  static void main() {
+    A x; B y;
+    x = new B();
+    y = (B) x;
+  }
+}
+`
+	prog, info := compile(t, src)
+	if len(prog.Casts) != 1 {
+		t.Fatalf("casts = %v, want 1", prog.Casts)
+	}
+	c := prog.Casts[0]
+	if got := prog.G.ClassInfo(c.Target).Name; got != "B" {
+		t.Errorf("cast target = %s, want B", got)
+	}
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	pts, err := d.PointsTo(c.Var)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := pts.Objects()
+	if len(objs) != 1 || !prog.G.SubtypeOf(prog.G.Node(objs[0]).Class, c.Target) {
+		t.Errorf("cast var pts = %s, want one B object", pts.FormatObjects(prog.G))
+	}
+	_ = info
+}
+
+func TestFactoryDetection(t *testing.T) {
+	src := `
+class Widget {}
+class Factory {
+  Widget createWidget() { return new Widget(); }
+  Widget cached;
+  Widget makeShared() { return this.cached; }
+  void helper() {}
+  int newCount() { return 0; }
+}
+`
+	prog, _ := compile(t, src)
+	if len(prog.Factories) != 2 {
+		t.Fatalf("factories = %+v, want createWidget and makeShared", prog.Factories)
+	}
+	names := prog.Factories[0].Name + " " + prog.Factories[1].Name
+	if !strings.Contains(names, "createWidget") || !strings.Contains(names, "makeShared") {
+		t.Errorf("factory names = %s", names)
+	}
+}
+
+func TestNullLiteralModelling(t *testing.T) {
+	src := `
+class Main {
+  static void main() {
+    Object x;
+    x = null;
+    x.toString1();
+  }
+  void toString1() {}
+}
+`
+	// toString1 is declared on Main (instance) but called via x of type
+	// Object — dispatch finds nothing for the null object; the program
+	// still compiles and pts(x) contains the null object.
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	pts, err := d.PointsTo(info.Var("Main.main.x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := pts.Objects()
+	if len(objs) != 1 || !prog.G.IsNullObject(objs[0]) {
+		t.Errorf("pts(x) = %s, want the null object", pts.FormatObjects(prog.G))
+	}
+	if len(prog.Derefs) == 0 {
+		t.Error("receiver deref site not recorded")
+	}
+}
+
+func TestControlFlowIsIgnored(t *testing.T) {
+	src := `
+class Main {
+  static void main(int k) {
+    Object x;
+    if (k < 3) { x = new Object(); } else { x = new String(); }
+    while (k > 0) { x = new Object(); k = k - 1; }
+  }
+}
+`
+	prog, info := compile(t, src)
+	d := core.NewDynSum(prog.G, core.Config{}, nil)
+	pts, err := d.PointsTo(info.Var("Main.main.x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts.Objects()) != 3 {
+		t.Errorf("pts(x) = %s, want 3 objects (both branches + loop)", pts.FormatObjects(prog.G))
+	}
+}

@@ -1,0 +1,579 @@
+package mj
+
+import "strconv"
+
+// Parse lexes and parses src into a File.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *parser) peek2() Token {
+	return p.toks[min(p.pos+2, len(p.toks)-1)]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Line, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != EOF {
+		cd, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, cd)
+	}
+	return f, nil
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	kw, err := p.expect(KwClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	cd := &ClassDecl{Name: name.Text, Line: kw.Line}
+	if p.accept(KwExtends) {
+		sup, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		cd.Extends = sup.Text
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	for !p.accept(RBrace) {
+		if err := p.member(cd); err != nil {
+			return nil, err
+		}
+	}
+	return cd, nil
+}
+
+// member parses one field, method or constructor into cd.
+func (p *parser) member(cd *ClassDecl) error {
+	line := p.cur().Line
+	static := p.accept(KwStatic)
+
+	// Constructor: ClassName ( ... ) { ... }
+	if !static && p.cur().Kind == IDENT && p.cur().Text == cd.Name && p.peek().Kind == LParen {
+		name := p.next()
+		m := &MethodDecl{Name: name.Text, Ctor: true, Ret: TypeVoid, Line: line}
+		if err := p.methodRest(m); err != nil {
+			return err
+		}
+		cd.Methods = append(cd.Methods, m)
+		return nil
+	}
+
+	var typ Type
+	if p.accept(KwVoid) {
+		typ = TypeVoid
+	} else {
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		typ = t
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if p.cur().Kind == LParen {
+		m := &MethodDecl{Name: name.Text, Static: static, Ret: typ, Line: line}
+		if err := p.methodRest(m); err != nil {
+			return err
+		}
+		cd.Methods = append(cd.Methods, m)
+		return nil
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return err
+	}
+	cd.Fields = append(cd.Fields, &FieldDecl{Type: typ, Name: name.Text, Static: static, Line: line})
+	return nil
+}
+
+func (p *parser) methodRest(m *MethodDecl) error {
+	if _, err := p.expect(LParen); err != nil {
+		return err
+	}
+	if !p.accept(RParen) {
+		for {
+			typ, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return err
+			}
+			m.Params = append(m.Params, Param{Type: typ, Name: name.Text})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	m.Body = body
+	return nil
+}
+
+// parseType parses int, a class name, or either with [].
+func (p *parser) parseType() (Type, error) {
+	var name string
+	switch p.cur().Kind {
+	case KwIntType:
+		p.next()
+		name = "int"
+	case IDENT:
+		name = p.next().Text
+	default:
+		return Type{}, errf(p.cur().Line, "expected type, found %s", p.cur())
+	}
+	t := Type{Name: name}
+	if p.cur().Kind == LBracket && p.peek().Kind == RBracket {
+		p.next()
+		p.next()
+		t.Array = true
+	}
+	return t, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept(RBrace) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// blockOrStmt accepts either a braced block or a single statement.
+func (p *parser) blockOrStmt() ([]Stmt, error) {
+	if p.cur().Kind == LBrace {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.cur().Line
+	switch p.cur().Kind {
+	case KwReturn:
+		p.next()
+		if p.accept(Semi) {
+			return &ReturnStmt{Line: line}, nil
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x, Line: line}, nil
+
+	case KwIf:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		if p.accept(KwElse) {
+			els, err := p.blockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+
+	case KwIntType:
+		return p.varDecl()
+
+	case IDENT:
+		// Lookahead to distinguish "C x = ..." and "C[] x = ..." from
+		// expressions starting with an identifier.
+		if p.peek().Kind == IDENT ||
+			(p.peek().Kind == LBracket && p.peek2().Kind == RBracket) {
+			return p.varDecl()
+		}
+	}
+
+	// Expression statement or assignment.
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(Assign) {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		switch lhs.(type) {
+		case *Ident, *FieldAccess, *IndexExpr:
+		default:
+			return nil, errf(line, "invalid assignment target")
+		}
+		return &AssignStmt{Lhs: lhs, Rhs: rhs, Line: line}, nil
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: lhs, Line: line}, nil
+}
+
+func (p *parser) varDecl() (Stmt, error) {
+	line := p.cur().Line
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	vd := &VarDecl{Type: typ, Name: name.Text, Line: line}
+	if p.accept(Assign) {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = init
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+// --- expressions, by descending precedence ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) binaryLevel(ops []Kind, sub func() (Expr, error)) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.cur().Kind == op {
+				line := p.next().Line
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = &BinaryExpr{Op: op, L: l, R: r, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{OrOr}, p.andExpr)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{AndAnd}, p.eqExpr)
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{EqEq, NotEq}, p.relExpr)
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{Lt, Gt, Le, Ge}, p.addExpr)
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{Plus, Minus}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{Star, Slash}, p.unaryExpr)
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.cur().Kind == Not || p.cur().Kind == Minus {
+		op := p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.Kind, X: x, Line: op.Line}, nil
+	}
+	return p.postfixExpr()
+}
+
+// postfixExpr parses a primary followed by .field, .method(...), [index].
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Dot:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().Kind == LParen {
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				x = &CallExpr{Recv: x, Name: name.Text, Args: args, Line: name.Line}
+			} else {
+				x = &FieldAccess{X: x, Name: name.Text, Line: name.Line}
+			}
+		case LBracket:
+			line := p.next().Line
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx, Line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// args parses "(" expr,... ")".
+func (p *parser) args() ([]Expr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	if p.accept(RParen) {
+		return out, nil
+	}
+	for {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		v, _ := strconv.Atoi(t.Text)
+		return &IntLit{Value: v, Line: t.Line}, nil
+	case STRING:
+		p.next()
+		return &StrLit{Value: t.Text, Line: t.Line}, nil
+	case KwNull:
+		p.next()
+		return &NullLit{Line: t.Line}, nil
+	case KwThis:
+		p.next()
+		return &ThisExpr{Line: t.Line}, nil
+	case KwNew:
+		p.next()
+		if p.cur().Kind == KwIntType {
+			// new int[n]
+			p.next()
+			if _, err := p.expect(LBracket); err != nil {
+				return nil, err
+			}
+			ln, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &NewArray{Elem: Type{Name: "int"}, Len: ln, Line: t.Line}, nil
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == LBracket {
+			p.next()
+			ln, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &NewArray{Elem: Type{Name: name.Text}, Len: ln, Line: t.Line}, nil
+		}
+		argList, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return &NewObject{Class: name.Text, Args: argList, Line: t.Line}, nil
+	case IDENT:
+		p.next()
+		if p.cur().Kind == LParen {
+			argList, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Text, Args: argList, Line: t.Line}, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case LParen:
+		// Cast "(C) expr" / "(C[]) expr" vs parenthesised expression.
+		if p.isCast() {
+			p.next() // (
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Target: typ, X: x, Line: t.Line}, nil
+		}
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.Line, "expected expression, found %s", t)
+}
+
+// isCast peeks whether the current '(' opens a cast: "(Ident)" or
+// "(Ident[])" followed by a token that can start an operand.
+func (p *parser) isCast() bool {
+	i := p.pos
+	at := func(k int) Token { return p.toks[min(i+k, len(p.toks)-1)] }
+	j := 1
+	if at(j).Kind != IDENT {
+		return false
+	}
+	j++
+	if at(j).Kind == LBracket && at(j+1).Kind == RBracket {
+		j += 2
+	}
+	if at(j).Kind != RParen {
+		return false
+	}
+	switch at(j + 1).Kind {
+	case IDENT, KwThis, KwNull, KwNew, INT, STRING, LParen:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+// Package mj implements the MiniJava frontend: a small Java-like language
+// compiled to Pointer Assignment Graphs. It substitutes for the paper's
+// Soot/Spark Java toolchain (see DESIGN.md §2): the demand engines consume
+// only the PAG, and mj produces faithful PAGs — including on-the-fly
+// Andersen call-graph construction for virtual calls, per-class-qualified
+// fields, array-element collapsing into "arr", and client site metadata
+// (downcasts, dereferences, factory methods).
+//
+// The language: single-inheritance classes with instance fields, static
+// (global) fields, instance/static methods and constructors; statements
+// are declarations, assignments, calls, if/while (control flow is ignored
+// by the flow-insensitive analysis — both branches are analysed), and
+// return; expressions cover this/null/int/string literals, new C(...),
+// new T[n], field and array access, virtual/static/constructor calls,
+// casts and arithmetic. See the examples/ directory and testdata for
+// programs, including the paper's Figure 2 verbatim.
+package mj
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	STRING
+
+	// Keywords.
+	KwClass
+	KwExtends
+	KwStatic
+	KwVoid
+	KwIntType
+	KwNew
+	KwReturn
+	KwIf
+	KwElse
+	KwWhile
+	KwThis
+	KwNull
+
+	// Punctuation and operators.
+	LBrace
+	RBrace
+	LParen
+	RParen
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Dot
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	Not
+	AndAnd
+	OrOr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "int literal", STRING: "string literal",
+	KwClass: "'class'", KwExtends: "'extends'", KwStatic: "'static'", KwVoid: "'void'",
+	KwIntType: "'int'", KwNew: "'new'", KwReturn: "'return'", KwIf: "'if'",
+	KwElse: "'else'", KwWhile: "'while'", KwThis: "'this'", KwNull: "'null'",
+	LBrace: "'{'", RBrace: "'}'", LParen: "'('", RParen: "')'",
+	LBracket: "'['", RBracket: "']'", Semi: "';'", Comma: "','", Dot: "'.'",
+	Assign: "'='", Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+	Lt: "'<'", Gt: "'>'", Le: "'<='", Ge: "'>='", EqEq: "'=='", NotEq: "'!='",
+	Not: "'!'", AndAnd: "'&&'", OrOr: "'||'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"class": KwClass, "extends": KwExtends, "static": KwStatic, "void": KwVoid,
+	"int": KwIntType, "new": KwNew, "return": KwReturn, "if": KwIf,
+	"else": KwElse, "while": KwWhile, "this": KwThis, "null": KwNull,
+}
+
+// Token is one lexeme with its source line.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s %q (line %d)", t.Kind, t.Text, t.Line)
+	}
+	return fmt.Sprintf("%s (line %d)", t.Kind, t.Line)
+}
+
+// Error is a frontend diagnostic with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,54 @@
+package pag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT form, mirroring paper Figure 2:
+// objects are boxes, variables ellipses (globals shaded), local edges solid
+// and global edges dashed, with load/store/entry/exit labels.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("digraph %q {\n  rankdir=BT;\n  node [fontsize=10];\n", title)
+	for i, n := range g.nodes {
+		id := NodeID(i)
+		switch n.Kind {
+		case Object:
+			p("  n%d [label=%q shape=box];\n", i, g.NodeString(id))
+		case Global:
+			p("  n%d [label=%q shape=ellipse style=filled fillcolor=lightgray];\n", i, g.NodeString(id))
+		default:
+			p("  n%d [label=%q shape=ellipse];\n", i, g.NodeString(id))
+		}
+	}
+	for i := range g.nodes {
+		for _, e := range g.out[NodeID(i)] {
+			label, style := "", "solid"
+			switch e.Kind {
+			case New:
+				label = "new"
+			case Assign:
+				label = ""
+			case Load:
+				label = "ld(" + g.fields[e.Field()] + ")"
+			case Store:
+				label = "st(" + g.fields[e.Field()] + ")"
+			case AssignGlobal:
+				label, style = "", "dashed"
+			case Entry:
+				label, style = fmt.Sprintf("entry%d", e.Site()), "dashed"
+			case Exit:
+				label, style = fmt.Sprintf("exit%d", e.Site()), "dashed"
+			}
+			p("  n%d -> n%d [label=%q style=%s];\n", e.Src, e.Dst, label, style)
+		}
+	}
+	p("}\n")
+	return err
+}

@@ -1,0 +1,327 @@
+package pag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// This file implements a line-oriented text serialisation of Programs, so
+// that benchmark PAGs can be generated once and re-analysed by the CLI
+// tools (cmd/benchgen writes them, cmd/dynsum and cmd/pagstat read them).
+//
+// Format (one record per line, space-separated, names %-quoted):
+//
+//	pag v1 <name>
+//	class <name> <parentIndex|-1>
+//	method <name> <classIndex|-1>
+//	field <name>
+//	callsite <callerMethod> <name> <target>...
+//	node local|global|object <method|-1> <class|-1> <name>
+//	edge <kind> <src> <dst> [<label>]
+//	cast <var> <class> <name>
+//	deref <var> <name>
+//	factory <method> <retVar> <name>
+//
+// Records must appear in dependency order (classes before methods, nodes
+// before edges); Encode emits them that way.
+
+const magic = "pag v1"
+
+// Encode writes p to w in the textual PAG format.
+func Encode(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	g := p.G
+	fmt.Fprintf(bw, "%s %s\n", magic, quote(p.Name))
+	for _, c := range g.classes {
+		fmt.Fprintf(bw, "class %s %d\n", quote(c.Name), c.Parent)
+	}
+	for _, m := range g.methods {
+		fmt.Fprintf(bw, "method %s %d\n", quote(m.Name), m.Class)
+	}
+	for _, f := range g.fields {
+		fmt.Fprintf(bw, "field %s\n", quote(f))
+	}
+	for _, cs := range g.callSites {
+		fmt.Fprintf(bw, "callsite %d %s", cs.Caller, quote(cs.Name))
+		for _, t := range cs.Targets {
+			fmt.Fprintf(bw, " %d", t)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, n := range g.nodes {
+		fmt.Fprintf(bw, "node %s %d %d %s\n", n.Kind, n.Method, n.Class, quote(n.Name))
+	}
+	for i := range g.nodes {
+		for _, e := range g.out[NodeID(i)] {
+			if e.Label == NoLabel {
+				fmt.Fprintf(bw, "edge %s %d %d\n", e.Kind, e.Src, e.Dst)
+			} else {
+				fmt.Fprintf(bw, "edge %s %d %d %d\n", e.Kind, e.Src, e.Dst, e.Label)
+			}
+		}
+	}
+	for _, c := range p.Casts {
+		fmt.Fprintf(bw, "cast %d %d %s\n", c.Var, c.Target, quote(c.Name))
+	}
+	for _, d := range p.Derefs {
+		fmt.Fprintf(bw, "deref %d %s\n", d.Var, quote(d.Name))
+	}
+	for _, f := range p.Factories {
+		fmt.Fprintf(bw, "factory %d %d %s\n", f.Method, f.Ret, quote(f.Name))
+	}
+	return bw.Flush()
+}
+
+// Decode reads a Program in the textual PAG format.
+func Decode(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	g := NewGraph()
+	p := NewProgram("", g)
+	lineno := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("pag: line %d: %s", lineno, fmt.Sprintf(format, args...))
+	}
+	first := true
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if first {
+			if len(fields) < 3 || fields[0]+" "+fields[1] != magic {
+				return nil, fail("bad header %q, want %q", line, magic)
+			}
+			name, err := unquote(fields[2])
+			if err != nil {
+				return nil, fail("bad program name: %v", err)
+			}
+			p.Name = name
+			first = false
+			continue
+		}
+		if err := decodeLine(g, p, fields); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("pag: empty input")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Re-intern derived identifiers present in the tables.
+	for i, f := range g.fields {
+		g.fieldIndex[f] = FieldID(i)
+		if f == "arr" {
+			g.arrayField = FieldID(i)
+		}
+	}
+	for i, c := range g.classes {
+		if c.Name == "Null" {
+			g.nullClass = ClassID(i)
+		}
+	}
+	return p, nil
+}
+
+func decodeLine(g *Graph, p *Program, fields []string) error {
+	switch fields[0] {
+	case "class":
+		if len(fields) != 3 {
+			return fmt.Errorf("class wants 2 args")
+		}
+		name, err := unquote(fields[1])
+		if err != nil {
+			return err
+		}
+		parent, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		g.AddClass(name, ClassID(parent))
+	case "method":
+		if len(fields) != 3 {
+			return fmt.Errorf("method wants 2 args")
+		}
+		name, err := unquote(fields[1])
+		if err != nil {
+			return err
+		}
+		class, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		g.AddMethod(name, ClassID(class))
+	case "field":
+		if len(fields) != 2 {
+			return fmt.Errorf("field wants 1 arg")
+		}
+		name, err := unquote(fields[1])
+		if err != nil {
+			return err
+		}
+		g.AddField(name)
+	case "callsite":
+		if len(fields) < 3 {
+			return fmt.Errorf("callsite wants >=2 args")
+		}
+		caller, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		name, err := unquote(fields[2])
+		if err != nil {
+			return err
+		}
+		cs := g.AddCallSite(MethodID(caller), name)
+		for _, t := range fields[3:] {
+			m, err := strconv.Atoi(t)
+			if err != nil {
+				return err
+			}
+			g.AddCallTarget(cs, MethodID(m))
+		}
+	case "node":
+		if len(fields) != 5 {
+			return fmt.Errorf("node wants 4 args")
+		}
+		var kind NodeKind
+		switch fields[1] {
+		case "local":
+			kind = Local
+		case "global":
+			kind = Global
+		case "object":
+			kind = Object
+		default:
+			return fmt.Errorf("bad node kind %q", fields[1])
+		}
+		method, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		class, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return err
+		}
+		name, err := unquote(fields[4])
+		if err != nil {
+			return err
+		}
+		g.AddNode(kind, MethodID(method), ClassID(class), name)
+	case "edge":
+		if len(fields) != 4 && len(fields) != 5 {
+			return fmt.Errorf("edge wants 3 or 4 args")
+		}
+		kind, err := parseEdgeKind(fields[1])
+		if err != nil {
+			return err
+		}
+		src, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		dst, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return err
+		}
+		label := NoLabel
+		if len(fields) == 5 {
+			l, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return err
+			}
+			label = int32(l)
+		}
+		if src < 0 || src >= g.NumNodes() || dst < 0 || dst >= g.NumNodes() {
+			return fmt.Errorf("edge endpoint out of range: %d -> %d (have %d nodes)", src, dst, g.NumNodes())
+		}
+		g.AddEdge(Edge{Src: NodeID(src), Dst: NodeID(dst), Kind: kind, Label: label})
+	case "cast":
+		if len(fields) != 4 {
+			return fmt.Errorf("cast wants 3 args")
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		cls, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		name, err := unquote(fields[3])
+		if err != nil {
+			return err
+		}
+		p.Casts = append(p.Casts, CastSite{Var: NodeID(v), Target: ClassID(cls), Name: name})
+	case "deref":
+		if len(fields) != 3 {
+			return fmt.Errorf("deref wants 2 args")
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		name, err := unquote(fields[2])
+		if err != nil {
+			return err
+		}
+		p.Derefs = append(p.Derefs, DerefSite{Var: NodeID(v), Name: name})
+	case "factory":
+		if len(fields) != 4 {
+			return fmt.Errorf("factory wants 3 args")
+		}
+		m, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		ret, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		name, err := unquote(fields[3])
+		if err != nil {
+			return err
+		}
+		p.Factories = append(p.Factories, FactorySite{Method: MethodID(m), Ret: NodeID(ret), Name: name})
+	default:
+		return fmt.Errorf("unknown record %q", fields[0])
+	}
+	return nil
+}
+
+func parseEdgeKind(s string) (EdgeKind, error) {
+	for k := 0; k < NumEdgeKinds; k++ {
+		if EdgeKind(k).String() == s {
+			return EdgeKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown edge kind %q", s)
+}
+
+// quote escapes a name so that it contains no whitespace and survives the
+// Fields-based splitting in Decode. The bare asterisk encodes the empty
+// string (QueryEscape can never produce it, since it escapes '*').
+func quote(s string) string {
+	if s == "" {
+		return "*"
+	}
+	return url.QueryEscape(s)
+}
+
+func unquote(s string) (string, error) {
+	if s == "*" {
+		return "", nil
+	}
+	return url.QueryUnescape(s)
+}

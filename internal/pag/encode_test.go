@@ -1,0 +1,122 @@
+package pag
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, p *Program) *Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b, n := buildTiny(t)
+	p := NewProgram("tiny graph", b.G)
+	p.Casts = []CastSite{{Var: n["x"], Target: 0, Name: "(A)x @ main:3"}}
+	p.Derefs = []DerefSite{{Var: n["w"], Name: "w.f"}}
+	p.Factories = []FactorySite{{Method: 0, Ret: n["r"], Name: "A.callee"}}
+
+	got := roundTrip(t, p)
+	if got.Name != p.Name {
+		t.Errorf("Name = %q, want %q", got.Name, p.Name)
+	}
+	if got.G.NumNodes() != b.G.NumNodes() {
+		t.Errorf("nodes = %d, want %d", got.G.NumNodes(), b.G.NumNodes())
+	}
+	if got.G.NumEdges() != b.G.NumEdges() {
+		t.Errorf("edges = %d, want %d", got.G.NumEdges(), b.G.NumEdges())
+	}
+	if got.G.Stats() != b.G.Stats() {
+		t.Errorf("stats = %+v, want %+v", got.G.Stats(), b.G.Stats())
+	}
+	if !reflect.DeepEqual(got.Casts, p.Casts) {
+		t.Errorf("Casts = %+v, want %+v", got.Casts, p.Casts)
+	}
+	if !reflect.DeepEqual(got.Derefs, p.Derefs) {
+		t.Errorf("Derefs = %+v, want %+v", got.Derefs, p.Derefs)
+	}
+	if !reflect.DeepEqual(got.Factories, p.Factories) {
+		t.Errorf("Factories = %+v, want %+v", got.Factories, p.Factories)
+	}
+
+	// Per-node adjacency must match exactly.
+	for i := 0; i < b.G.NumNodes(); i++ {
+		id := NodeID(i)
+		if !reflect.DeepEqual(got.G.Out(id), b.G.Out(id)) {
+			t.Errorf("Out(%d) = %v, want %v", i, got.G.Out(id), b.G.Out(id))
+		}
+	}
+
+	// Derived state must be reconstructed.
+	f := got.G.AddField("A.f")
+	if len(got.G.StoresOf(f)) != 1 {
+		t.Error("storesByField not rebuilt after decode")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"bad header", "nonsense here now\n"},
+		{"bad record", "pag v1 x\nbogus 1 2\n"},
+		{"bad edge kind", "pag v1 x\nedge teleport 0 1\n"},
+		{"truncated node", "pag v1 x\nnode local 0\n"},
+		{"invalid edge target", "pag v1 x\nnode local -1 -1 v\nedge assign 0 7\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(tc.input)); err == nil {
+				t.Errorf("Decode(%q) succeeded, want error", tc.input)
+			}
+		})
+	}
+}
+
+func TestQuoteRoundTrip(t *testing.T) {
+	names := []string{"", "plain", "with space", "a%b", "Main.main:32", "*", "+x+", "日本"}
+	for _, name := range names {
+		got, err := unquote(quote(name))
+		if err != nil {
+			t.Errorf("unquote(quote(%q)): %v", name, err)
+			continue
+		}
+		if got != name {
+			t.Errorf("round trip %q -> %q", name, got)
+		}
+		if strings.ContainsAny(quote(name), " \t\n") {
+			t.Errorf("quote(%q) = %q contains whitespace", name, quote(name))
+		}
+	}
+}
+
+func TestDecodeRestoresNullClass(t *testing.T) {
+	b := NewBuilder()
+	cls := b.Class("A", NoClass)
+	m := b.Method("A.m", cls)
+	v := b.Local(m, "v", cls)
+	b.NullAssign(v)
+	p := roundTrip(t, NewProgram("nulls", b.G))
+	// The null object is node index of the object; find it by class name.
+	found := false
+	for i := 0; i < p.G.NumNodes(); i++ {
+		if p.G.IsNullObject(NodeID(i)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("null object lost in round trip")
+	}
+}

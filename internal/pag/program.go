@@ -1,0 +1,81 @@
+package pag
+
+// This file defines Program: a Graph plus the client-facing site metadata
+// that the paper's three clients (§5.2) consume. The metadata is produced
+// by the MiniJava frontend or the synthetic benchmark generator and
+// serialised together with the graph.
+
+// CastSite is one downcast "(Target) Var" checked by the SafeCast client.
+type CastSite struct {
+	Var    NodeID
+	Target ClassID
+	Name   string // diagnostic position label
+}
+
+// DerefSite is one pointer dereference (field access or receiver use)
+// checked by the NullDeref client.
+type DerefSite struct {
+	Var  NodeID
+	Name string
+}
+
+// FactorySite is one factory method checked by the FactoryM client: the
+// method together with its return-value variable.
+type FactorySite struct {
+	Method MethodID
+	Ret    NodeID
+	Name   string
+}
+
+// Program bundles a PAG with client query-site metadata.
+type Program struct {
+	G *Graph
+
+	Name      string
+	Casts     []CastSite
+	Derefs    []DerefSite
+	Factories []FactorySite
+
+	callSitesIn map[MethodID][]CallSiteID // lazy index for CalleeClosure
+}
+
+// NewProgram wraps g in an empty Program.
+func NewProgram(name string, g *Graph) *Program {
+	return &Program{Name: name, G: g}
+}
+
+// invalidateIndexes drops lazily built indexes; call after mutating the
+// call-site table.
+func (p *Program) invalidateIndexes() { p.callSitesIn = nil }
+
+// CallSitesIn returns the call sites contained in method m.
+func (p *Program) CallSitesIn(m MethodID) []CallSiteID {
+	if p.callSitesIn == nil {
+		p.callSitesIn = make(map[MethodID][]CallSiteID)
+		for cs := 0; cs < p.G.NumCallSites(); cs++ {
+			info := p.G.CallSiteInfo(CallSiteID(cs))
+			p.callSitesIn[info.Caller] = append(p.callSitesIn[info.Caller], CallSiteID(cs))
+		}
+	}
+	return p.callSitesIn[m]
+}
+
+// CalleeClosure returns m plus every method transitively callable from m,
+// following the resolved call-site targets.
+func (p *Program) CalleeClosure(m MethodID) map[MethodID]bool {
+	closure := map[MethodID]bool{m: true}
+	work := []MethodID{m}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, cs := range p.CallSitesIn(cur) {
+			for _, t := range p.G.CallSiteInfo(cs).Targets {
+				if !closure[t] {
+					closure[t] = true
+					work = append(work, t)
+				}
+			}
+		}
+	}
+	return closure
+}

@@ -1,0 +1,223 @@
+package refine_test
+
+import (
+	"errors"
+	"testing"
+
+	"dynsum/internal/core"
+	"dynsum/internal/fixture"
+	"dynsum/internal/pag"
+	"dynsum/internal/refine"
+)
+
+func checkMicro(t *testing.T, a core.Analysis, m *fixture.Micro) {
+	t.Helper()
+	pts, err := a.PointsTo(m.Query)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", a.Name(), m.Prog.Name, err)
+	}
+	for _, want := range m.Want {
+		if !pts.HasObject(want) {
+			t.Errorf("%s on %s: missing %s; got %s", a.Name(), m.Prog.Name,
+				m.Prog.G.NodeString(want), pts.FormatObjects(m.Prog.G))
+		}
+	}
+	for _, not := range m.Not {
+		if pts.HasObject(not) {
+			t.Errorf("%s on %s: spurious %s; got %s", a.Name(), m.Prog.Name,
+				m.Prog.G.NodeString(not), pts.FormatObjects(m.Prog.G))
+		}
+	}
+}
+
+func micros() map[string]*fixture.Micro {
+	return map[string]*fixture.Micro{
+		"AssignChain":           fixture.AssignChain(5),
+		"FieldPair":             fixture.FieldPair(),
+		"TwoFields":             fixture.TwoFields(),
+		"CallReturn":            fixture.CallReturn(),
+		"ContextSeparation":     fixture.ContextSeparation(),
+		"GlobalFlow":            fixture.GlobalFlow(),
+		"PointsToCycle":         fixture.PointsToCycle(),
+		"FieldCycleThroughCall": fixture.FieldCycleThroughCall(),
+	}
+}
+
+func TestNoRefineMicros(t *testing.T) {
+	for name, m := range micros() {
+		t.Run(name, func(t *testing.T) {
+			checkMicro(t, refine.NewNoRefine(m.Prog.G, core.Config{}, nil), m)
+		})
+	}
+}
+
+func TestRefinePtsMicros(t *testing.T) {
+	for name, m := range micros() {
+		t.Run(name, func(t *testing.T) {
+			checkMicro(t, refine.NewRefinePts(m.Prog.G, core.Config{}, nil), m)
+		})
+	}
+}
+
+func TestFigure2BothEngines(t *testing.T) {
+	f := fixture.BuildFigure2()
+	for _, mk := range []func() core.Analysis{
+		func() core.Analysis { return refine.NewNoRefine(f.Prog.G, core.Config{}, nil) },
+		func() core.Analysis { return refine.NewRefinePts(f.Prog.G, core.Config{}, nil) },
+	} {
+		a := mk()
+		pts, err := a.PointsTo(f.S1)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if got := pts.Objects(); len(got) != 1 || got[0] != f.O26 {
+			t.Errorf("%s: pts(s1) = %s, want {o26}", a.Name(), pts.FormatObjects(f.Prog.G))
+		}
+		pts2, err := a.PointsTo(f.S2)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if got := pts2.Objects(); len(got) != 1 || got[0] != f.O29 {
+			t.Errorf("%s: pts(s2) = %s, want {o29}", a.Name(), pts2.FormatObjects(f.Prog.G))
+		}
+	}
+}
+
+// TestRefinementEarlyStop verifies the refinement loop's early termination:
+// a client satisfied by the field-based approximation stops after one
+// iteration, an unsatisfiable one drives full refinement.
+func TestRefinementEarlyStop(t *testing.T) {
+	f := fixture.BuildFigure2()
+	en := refine.NewRefinePts(f.Prog.G, core.Config{}, nil)
+
+	// Satisfied immediately (any answer will do).
+	_, ok, err := en.PointsToSatisfying(f.S1, func(*core.PointsToSet) bool { return true })
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v, want satisfied", ok, err)
+	}
+	itersEarly := en.Metrics().RefineIters
+
+	en2 := refine.NewRefinePts(f.Prog.G, core.Config{}, nil)
+	_, ok, err = en2.PointsToSatisfying(f.S1, func(*core.PointsToSet) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("unsatisfiable client reported satisfied")
+	}
+	if en2.Metrics().RefineIters <= itersEarly {
+		t.Errorf("full refinement used %d iters, early stop %d; want more",
+			en2.Metrics().RefineIters, itersEarly)
+	}
+}
+
+// TestFieldBasedOverApproximation checks the first iteration's match edges
+// visibly over-approximate on Figure 2: field-based, s1 sees both o26 and
+// o29 (paper §3.4 iteration 1), while the refined final answer is {o26}.
+func TestFieldBasedOverApproximation(t *testing.T) {
+	f := fixture.BuildFigure2()
+	en := refine.NewRefinePts(f.Prog.G, core.Config{}, nil)
+	var first *core.PointsToSet
+	_, _, err := en.PointsToSatisfying(f.S1, func(p *core.PointsToSet) bool {
+		if first == nil {
+			cp := core.NewPointsToSet()
+			cp.AddAll(p)
+			first = cp
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.HasObject(f.O26) || !first.HasObject(f.O29) {
+		t.Errorf("field-based first pass = %s, want both o26 and o29",
+			first.FormatObjects(f.Prog.G))
+	}
+}
+
+func TestMatchEdgeMetric(t *testing.T) {
+	f := fixture.BuildFigure2()
+	en := refine.NewRefinePts(f.Prog.G, core.Config{}, nil)
+	if _, err := en.PointsTo(f.S1); err != nil {
+		t.Fatal(err)
+	}
+	if en.Metrics().MatchEdges == 0 {
+		t.Error("REFINEPTS used no match edges on a field-heavy query")
+	}
+
+	nr := refine.NewNoRefine(f.Prog.G, core.Config{}, nil)
+	if _, err := nr.PointsTo(f.S1); err != nil {
+		t.Fatal(err)
+	}
+	if nr.Metrics().MatchEdges != 0 {
+		t.Errorf("NOREFINE used %d match edges, want 0", nr.Metrics().MatchEdges)
+	}
+	if nr.Metrics().RefineIters != 1 {
+		t.Errorf("NOREFINE iterations = %d, want 1", nr.Metrics().RefineIters)
+	}
+}
+
+func TestRefineBudgetExceeded(t *testing.T) {
+	m := fixture.AssignChain(50)
+	en := refine.NewNoRefine(m.Prog.G, core.Config{Budget: 10}, nil)
+	if _, err := en.PointsTo(m.Query); !errors.Is(err, core.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// TestAdHocCachingModes: by default the memo is per query (paper §4.4,
+// "within a query"); under CrossQueryMemo completed field-based entries
+// carry over, producing extra hits on the second query — and in both modes
+// the answers are identical.
+func TestAdHocCachingModes(t *testing.T) {
+	f := fixture.BuildFigure2()
+	sat := func(*core.PointsToSet) bool { return true } // stay field-based
+
+	plain := refine.NewRefinePts(f.Prog.G, core.Config{}, nil)
+	p1, _, _ := plain.PointsToSatisfying(f.S1, sat)
+	p2, _, _ := plain.PointsToSatisfying(f.S2, sat)
+
+	shared := refine.NewRefinePts(f.Prog.G, core.Config{}, plain.Ctxs())
+	shared.CrossQueryMemo = true
+	s1, _, err := shared.PointsToSatisfying(f.S1, sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := shared.Metrics().CacheHits
+	s2, _, err := shared.PointsToSatisfying(f.S2, sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Metrics().CacheHits <= h1 {
+		t.Error("CrossQueryMemo produced no extra hits on the second query")
+	}
+	if !p1.Equal(s1) || !p2.Equal(s2) {
+		t.Error("cross-query memo changed answers")
+	}
+}
+
+func TestGlobalVariableQuery(t *testing.T) {
+	// Querying a static variable directly must work in both engines.
+	m := fixture.GlobalFlow()
+	var gvar pag.NodeID = pag.NoNode
+	for i := 0; i < m.Prog.G.NumNodes(); i++ {
+		if m.Prog.G.Node(pag.NodeID(i)).Kind == pag.Global {
+			gvar = pag.NodeID(i)
+		}
+	}
+	if gvar == pag.NoNode {
+		t.Fatal("no global in fixture")
+	}
+	for _, a := range []core.Analysis{
+		refine.NewNoRefine(m.Prog.G, core.Config{}, nil),
+		core.NewDynSum(m.Prog.G, core.Config{}, nil),
+	} {
+		pts, err := a.PointsTo(gvar)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if len(pts.Objects()) != 1 {
+			t.Errorf("%s: pts(G) = %s, want one object", a.Name(), pts.FormatObjects(m.Prog.G))
+		}
+	}
+}

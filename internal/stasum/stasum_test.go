@@ -1,0 +1,150 @@
+package stasum_test
+
+import (
+	"testing"
+
+	"dynsum/internal/core"
+	"dynsum/internal/fixture"
+	"dynsum/internal/pag"
+	"dynsum/internal/stasum"
+)
+
+func micros() map[string]*fixture.Micro {
+	return map[string]*fixture.Micro{
+		"AssignChain":           fixture.AssignChain(5),
+		"FieldPair":             fixture.FieldPair(),
+		"TwoFields":             fixture.TwoFields(),
+		"CallReturn":            fixture.CallReturn(),
+		"ContextSeparation":     fixture.ContextSeparation(),
+		"GlobalFlow":            fixture.GlobalFlow(),
+		"PointsToCycle":         fixture.PointsToCycle(),
+		"FieldCycleThroughCall": fixture.FieldCycleThroughCall(),
+	}
+}
+
+func TestStaSumMicros(t *testing.T) {
+	for name, m := range micros() {
+		t.Run(name, func(t *testing.T) {
+			e := stasum.New(m.Prog.G, core.Config{}, nil)
+			pts, err := e.PointsTo(m.Query)
+			if err != nil {
+				t.Fatalf("PointsTo: %v", err)
+			}
+			for _, w := range m.Want {
+				if !pts.HasObject(w) {
+					t.Errorf("missing %s: got %s", m.Prog.G.NodeString(w), pts.FormatObjects(m.Prog.G))
+				}
+			}
+			for _, nw := range m.Not {
+				if pts.HasObject(nw) {
+					t.Errorf("spurious %s: got %s", m.Prog.G.NodeString(nw), pts.FormatObjects(m.Prog.G))
+				}
+			}
+		})
+	}
+}
+
+func TestStaSumFigure2(t *testing.T) {
+	f := fixture.BuildFigure2()
+	e := stasum.New(f.Prog.G, core.Config{}, nil)
+
+	pts, err := e.PointsTo(f.S1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pts.Objects(); len(got) != 1 || got[0] != f.O26 {
+		t.Errorf("pts(s1) = %s, want {o26}", pts.FormatObjects(f.Prog.G))
+	}
+	pts2, err := e.PointsTo(f.S2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pts2.Objects(); len(got) != 1 || got[0] != f.O29 {
+		t.Errorf("pts(s2) = %s, want {o29}", pts2.FormatObjects(f.Prog.G))
+	}
+}
+
+// TestOfflineCostVsDynamic is the Figure 5 claim in miniature: STASUM
+// precomputes summaries for the whole program, while DYNSUM only
+// materialises the ones the queries touch.
+func TestOfflineCostVsDynamic(t *testing.T) {
+	f := fixture.BuildFigure2()
+	sta := stasum.New(f.Prog.G, core.Config{}, nil)
+	if sta.SummaryCount() == 0 {
+		t.Fatal("no static summaries computed")
+	}
+	dyn := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	if _, err := dyn.PointsTo(f.S1); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.SummaryCount() == 0 {
+		t.Fatal("no dynamic summaries computed")
+	}
+	// A single query must not touch the whole program's boundary set.
+	if dyn.SummaryCount() >= sta.SummaryCount() {
+		t.Errorf("dynamic summaries (%d) not fewer than static (%d)",
+			dyn.SummaryCount(), sta.SummaryCount())
+	}
+}
+
+// TestGammaOverflowConservative: with an absurdly small gamma bound the
+// engine must fail queries (conservatively) rather than answer wrongly.
+func TestGammaOverflowConservative(t *testing.T) {
+	f := fixture.BuildFigure2()
+	e := stasum.New(f.Prog.G, core.Config{}, nil, stasum.WithMaxGamma(1))
+	pts, err := e.PointsTo(f.S1)
+	if err == nil {
+		// With k=1 the elems/arr chains exceed gamma; if it still
+		// succeeded the answer must at least be sound.
+		if pts.HasObject(f.O29) {
+			t.Error("overflowed summary produced an unsound answer")
+		}
+		t.Skip("query survived k=1 (no overflowed summary on its path)")
+	}
+}
+
+// TestLazyRootSummary: querying a non-boundary node with local edges must
+// synthesise its summary on demand and still answer correctly.
+func TestLazyRootSummary(t *testing.T) {
+	m := fixture.FieldPair() // single method, no global edges at all
+	e := stasum.New(m.Prog.G, core.Config{}, nil)
+	before := e.SummaryCount()
+	pts, err := e.PointsTo(m.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts.HasObject(m.Want[0]) {
+		t.Errorf("pts = %s, want o1", pts.FormatObjects(m.Prog.G))
+	}
+	if e.SummaryCount() != before+1 {
+		t.Errorf("summary count %d -> %d, want exactly one lazy addition",
+			before, e.SummaryCount())
+	}
+}
+
+func TestSummariesCoverBoundaryNodes(t *testing.T) {
+	f := fixture.BuildFigure2()
+	e := stasum.New(f.Prog.G, core.Config{}, nil)
+	// Every node with local edges and a global out edge must have an S1
+	// summary; count them independently.
+	g := f.Prog.G
+	wantAtLeast := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		n := pag.NodeID(i)
+		if !g.HasLocalEdges(n) {
+			continue
+		}
+		if g.HasGlobalOut(n) {
+			wantAtLeast++
+		}
+		if g.HasGlobalIn(n) {
+			wantAtLeast++
+		}
+	}
+	if e.SummaryCount() != wantAtLeast {
+		t.Errorf("SummaryCount = %d, want %d", e.SummaryCount(), wantAtLeast)
+	}
+	if e.OfflineVisits == 0 {
+		t.Error("OfflineVisits = 0")
+	}
+}
