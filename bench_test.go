@@ -175,6 +175,38 @@ func BenchmarkAblationStasumGamma(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchPointsTo: the concurrent batch-query engine against the
+// serial query loop on a Table 3 synthetic workload (soot-c, NullDeref
+// sites — the paper's strongest batching case). Engines start cold each
+// iteration so every run pays the same summary bill; the sub-benchmark
+// ratio is the wall-clock speedup of the worker pool.
+func BenchmarkBatchPointsTo(b *testing.B) {
+	// A larger scale than the table benches: per-query cost must dominate
+	// pool overhead for the parallelism measurement to be meaningful.
+	p := benchgen.ProfileByNameMust("soot-c").Scaled(0.05)
+	prog := benchgen.Generate(p, 1)
+	queries, err := clients.Queries("NullDeref", prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := core.NewDynSum(prog.G, core.Config{}, nil)
+			for _, q := range queries {
+				d.PointsToCtx(q.Var, q.Ctx) //nolint:errcheck
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := core.NewDynSum(prog.G, core.Config{}, nil)
+				d.BatchPointsTo(queries, workers)
+			}
+		})
+	}
+}
+
 // BenchmarkPPTAQuery: single warm-cache DYNSUM query on Figure 2 (the
 // engine's hot path).
 func BenchmarkPPTAQuery(b *testing.B) {

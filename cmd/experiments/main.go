@@ -33,6 +33,7 @@ func main() {
 		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of text tables (tables 3-4, figures 4-5)")
 		ablations = flag.Bool("ablations", false, "run the cache/locality/k-limit ablations")
+		parallel  = flag.Bool("parallel", false, "run the batch-query parallel-speedup sweep")
 	)
 	flag.Parse()
 
@@ -80,6 +81,11 @@ func main() {
 	run(*figure, 5, func() { harness.WriteFigure5(w, opts) })
 	if *ablations || *all {
 		harness.WriteAblations(w, opts)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *parallel || *all {
+		harness.WriteParallel(w, opts)
 		fmt.Fprintln(w)
 		ran = true
 	}

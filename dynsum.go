@@ -16,6 +16,11 @@
 //	engine := dynsum.NewDynSum(prog.G, dynsum.Config{})
 //	pts, err := engine.PointsTo(info.Var("Main.main.x"))
 //	fmt.Println(pts.FormatObjects(prog.G))
+//
+// The DYNSUM engine is safe for concurrent queries; BatchPointsTo fans a
+// query batch out over a worker pool sharing one summary cache:
+//
+//	results := dynsum.BatchPointsTo(engine, vars, 4)
 package dynsum
 
 import (
@@ -24,6 +29,7 @@ import (
 	"dynsum/internal/benchgen"
 	"dynsum/internal/clients"
 	"dynsum/internal/core"
+	"dynsum/internal/intstack"
 	"dynsum/internal/mj"
 	"dynsum/internal/pag"
 	"dynsum/internal/refine"
@@ -46,6 +52,12 @@ type (
 	Graph = pag.Graph
 	// Builder constructs PAGs statement by statement.
 	Builder = pag.Builder
+	// NodeID identifies a PAG node (variable or abstract object).
+	NodeID = pag.NodeID
+	// Query is one batched points-to request (variable + calling context).
+	Query = core.Query
+	// Result is the outcome of one batched query.
+	Result = core.Result
 	// Report is a client run summary.
 	Report = clients.Report
 	// FrontendInfo exposes the MiniJava symbol tables.
@@ -94,10 +106,33 @@ func LoadPAG(r io.Reader) (*Program, error) { return pag.Decode(r) }
 // SavePAG writes a Program in the textual PAG format.
 func SavePAG(w io.Writer, p *Program) error { return pag.Encode(w, p) }
 
+// BatchPointsTo answers a batch of whole-program points-to queries (empty
+// initial context) on engine, fanned out across workers goroutines sharing
+// the engine's summary cache. workers <= 0 selects GOMAXPROCS. Results are
+// positionally aligned with vars; every query that completes returns the
+// serial PointsTo answer, while conservative budget failures may differ
+// from a serial run near the budget boundary (cache warming is
+// schedule-dependent). For per-query calling contexts, build []Query
+// directly and call engine.BatchPointsTo.
+func BatchPointsTo(engine *core.DynSum, vars []NodeID, workers int) []Result {
+	queries := make([]Query, len(vars))
+	for i, v := range vars {
+		queries[i] = Query{Var: v, Ctx: intstack.Empty}
+	}
+	return engine.BatchPointsTo(queries, workers)
+}
+
 // RunClient runs one of the paper's clients ("SafeCast", "NullDeref",
 // "FactoryM") over prog with engine a.
 func RunClient(client string, prog *Program, a Analysis) (*Report, error) {
 	return clients.Run(client, prog, a)
+}
+
+// RunClientParallel is RunClient with the client's query sites fanned out
+// across workers goroutines when the engine supports batch execution
+// (DYNSUM does); other engines fall back to the serial path.
+func RunClientParallel(client string, prog *Program, a Analysis, workers int) (*Report, error) {
+	return clients.RunParallel(client, prog, a, workers)
 }
 
 // Clients lists the three client names in paper order.

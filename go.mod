@@ -1,0 +1,3 @@
+module dynsum
+
+go 1.24

@@ -172,6 +172,45 @@ func TestRunDispatch(t *testing.T) {
 	}
 }
 
+// TestRunParallelMatchesSerial: for every client, the batched worker-pool
+// path must produce site-for-site the same Report a serial run does, at
+// several worker counts; engines without BatchPointsTo fall back serially.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	f := fixture.BuildFigure2()
+	for _, name := range clients.Names() {
+		serial, err := clients.Run(name, f.Prog, core.NewDynSum(f.Prog.G, core.Config{}, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4} {
+			par, err := clients.RunParallel(name, f.Prog,
+				core.NewDynSum(f.Prog.G, core.Config{}, nil), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Results) != len(serial.Results) {
+				t.Fatalf("%s workers=%d: %d sites vs serial %d",
+					name, workers, len(par.Results), len(serial.Results))
+			}
+			for i, r := range par.Results {
+				s := serial.Results[i]
+				if r.Site != s.Site || r.Verdict != s.Verdict || r.Objects != s.Objects {
+					t.Errorf("%s workers=%d site %d: %+v != serial %+v", name, workers, i, r, s)
+				}
+			}
+		}
+		// Non-batch engine: must fall back to the serial path untouched.
+		par, err := clients.RunParallel(name, f.Prog,
+			refine.NewRefinePts(f.Prog.G, core.Config{}, nil), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Queries != serial.Queries {
+			t.Errorf("%s: refinepts fallback queries = %d, want %d", name, par.Queries, serial.Queries)
+		}
+	}
+}
+
 // TestUnknownOnTinyBudget: with a 1-step budget everything is Unknown.
 func TestUnknownOnTinyBudget(t *testing.T) {
 	f := fixture.BuildFigure2()

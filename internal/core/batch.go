@@ -1,0 +1,93 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// This file implements batch query execution: a worker pool that fans a
+// slice of points-to queries out over goroutines sharing one DynSum engine.
+// The workers share the summary cache, so a batch gets the paper's
+// Figure 4 amortisation effect concurrently — each summary computed by any
+// worker is reused by all of them. Per-query state (budget, worklist,
+// points-to set) stays private to the querying goroutine, so every query
+// that completes returns exactly the serial engine's points-to set.
+//
+// The one schedule-dependent outcome is conservative failure near the
+// budget boundary: how warm the cache is when a given query runs depends
+// on execution order, so a query that squeaks under its budget serially
+// (riding summaries an earlier query cached) may exhaust it when run
+// concurrently before that warming happened — and vice versa. Such
+// queries fail with ErrBudget exactly as a cold serial query would, and
+// clients already treat that conservatively.
+
+// Query is one batched points-to request: a variable and the calling
+// context (an ID in the engine's context table; intstack.Empty for the
+// usual whole-program query).
+type Query struct {
+	Var pag.NodeID
+	Ctx intstack.ID
+}
+
+// Result is the outcome of one batched query, in the same position as its
+// Query. A non-nil Err (ErrBudget/ErrDepth) means Pts is partial and the
+// client must answer conservatively, exactly as for serial PointsTo.
+type Result struct {
+	Var pag.NodeID
+	Ctx intstack.ID
+	Pts *PointsToSet
+	Err error
+}
+
+// BatchPointsTo answers every query, fanning the batch out across workers
+// goroutines sharing this engine's summary cache. workers <= 0 selects
+// GOMAXPROCS; a single worker (or a single query) runs inline without
+// spawning. Results are positionally aligned with queries.
+//
+// Each query carries its own traversal budget, as in the serial engine;
+// sharing summaries never changes the answer of a query that completes
+// (see internal/enginetest for the equivalence suite), though which
+// queries exhaust their budget can differ from a serial run near the
+// budget boundary (see the file comment above).
+func (d *DynSum) BatchPointsTo(queries []Query, workers int) []Result {
+	results := make([]Result, len(queries))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			pts, err := d.PointsToCtx(q.Var, q.Ctx)
+			results[i] = Result{Var: q.Var, Ctx: q.Ctx, Pts: pts, Err: err}
+		}
+		return results
+	}
+
+	// Dynamic dispatch on an atomic cursor: cheap, and naturally balances
+	// the skewed per-query costs a warm cache produces.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				q := queries[i]
+				pts, err := d.PointsToCtx(q.Var, q.Ctx)
+				results[i] = Result{Var: q.Var, Ctx: q.Ctx, Pts: pts, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,165 @@
+package core_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dynsum/internal/core"
+	"dynsum/internal/fixture"
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// queriesFor builds empty-context queries for every interesting Figure 2
+// variable.
+func figure2Queries(f *fixture.Figure2) []core.Query {
+	vars := []pag.NodeID{f.S1, f.S2, f.PAdd, f.TGet, f.V1, f.V2, f.RetGet}
+	qs := make([]core.Query, len(vars))
+	for i, v := range vars {
+		qs[i] = core.Query{Var: v, Ctx: intstack.Empty}
+	}
+	return qs
+}
+
+// TestBatchMatchesSerial: BatchPointsTo must return, position by position,
+// exactly what serial PointsToCtx returns, at every worker count.
+func TestBatchMatchesSerial(t *testing.T) {
+	f := fixture.BuildFigure2()
+	queries := figure2Queries(f)
+
+	serial := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	want := make([]*core.PointsToSet, len(queries))
+	for i, q := range queries {
+		pts, err := serial.PointsToCtx(q.Var, q.Ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = pts
+	}
+
+	for _, workers := range []int{0, 1, 2, 4, 17} {
+		d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+		results := d.BatchPointsTo(queries, workers)
+		if len(results) != len(queries) {
+			t.Fatalf("workers=%d: %d results for %d queries", workers, len(results), len(queries))
+		}
+		for i, r := range results {
+			if r.Var != queries[i].Var || r.Ctx != queries[i].Ctx {
+				t.Errorf("workers=%d: result %d misaligned: %+v", workers, i, r)
+			}
+			if r.Err != nil {
+				t.Errorf("workers=%d: query %d: %v", workers, i, r.Err)
+				continue
+			}
+			if !r.Pts.SameObjects(want[i]) {
+				t.Errorf("workers=%d: pts(query %d) = %s, serial %s", workers, i,
+					r.Pts.FormatObjects(f.Prog.G), want[i].FormatObjects(f.Prog.G))
+			}
+		}
+	}
+}
+
+// TestBatchEmpty: a nil/empty batch returns an empty, non-nil slice.
+func TestBatchEmpty(t *testing.T) {
+	f := fixture.BuildFigure2()
+	d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	if got := d.BatchPointsTo(nil, 4); len(got) != 0 {
+		t.Errorf("BatchPointsTo(nil) = %v", got)
+	}
+}
+
+// TestBatchPropagatesErrors: budget exhaustion surfaces per result, leaving
+// the rest of the batch intact.
+func TestBatchPropagatesErrors(t *testing.T) {
+	m := fixture.AssignChain(50)
+	d := core.NewDynSum(m.Prog.G, core.Config{Budget: 10}, nil)
+	queries := []core.Query{{Var: m.Query, Ctx: intstack.Empty}, {Var: m.Query, Ctx: intstack.Empty}}
+	results := d.BatchPointsTo(queries, 2)
+	for i, r := range results {
+		if !errors.Is(r.Err, core.ErrBudget) {
+			t.Errorf("result %d: err = %v, want ErrBudget", i, r.Err)
+		}
+	}
+}
+
+// TestBatchSharesSummaries: after a batch, the cache holds summaries and a
+// repeat batch hits it — the Figure 4 amortisation across the worker pool.
+func TestBatchSharesSummaries(t *testing.T) {
+	f := fixture.BuildFigure2()
+	d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	queries := figure2Queries(f)
+	d.BatchPointsTo(queries, 4)
+	if d.SummaryCount() == 0 {
+		t.Fatal("no summaries cached after batch")
+	}
+	before := d.Metrics().Snapshot()
+	d.BatchPointsTo(queries, 4)
+	after := d.Metrics().Snapshot()
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("repeat batch reused no summaries: hits %d -> %d", before.CacheHits, after.CacheHits)
+	}
+	if after.Summaries != before.Summaries {
+		t.Errorf("repeat batch recomputed summaries: %d -> %d", before.Summaries, after.Summaries)
+	}
+}
+
+// TestBatchConcurrentWithPointForQueries: overlapping batches and direct
+// PointsToCtx calls on one engine must all give serial answers; run under
+// -race this exercises the sharded cache, atomic metrics, and concurrent
+// stack interning.
+func TestBatchConcurrentWithPointForQueries(t *testing.T) {
+	f := fixture.BuildFigure2()
+	queries := figure2Queries(f)
+
+	serial := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	want := make([]*core.PointsToSet, len(queries))
+	for i, q := range queries {
+		pts, err := serial.PointsToCtx(q.Var, q.Ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = pts
+	}
+
+	shared := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	var wg sync.WaitGroup
+	const rounds = 4
+	batchResults := make([][]core.Result, rounds)
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			batchResults[r] = shared.BatchPointsTo(queries, 3)
+		}(r)
+	}
+	directErrs := make([]error, len(queries))
+	directPts := make([]*core.PointsToSet, len(queries))
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			directPts[i], directErrs[i] = shared.PointsToCtx(queries[i].Var, queries[i].Ctx)
+		}(i)
+	}
+	wg.Wait()
+
+	for r := 0; r < rounds; r++ {
+		for i, res := range batchResults[r] {
+			if res.Err != nil {
+				t.Fatalf("round %d query %d: %v", r, i, res.Err)
+			}
+			if !res.Pts.SameObjects(want[i]) {
+				t.Errorf("round %d: pts(query %d) diverged from serial", r, i)
+			}
+		}
+	}
+	for i := range queries {
+		if directErrs[i] != nil {
+			t.Fatalf("direct query %d: %v", i, directErrs[i])
+		}
+		if !directPts[i].SameObjects(want[i]) {
+			t.Errorf("direct query %d diverged from serial", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import "sync"
+
+// This file implements the concurrent summary cache backing DynSum: a
+// striped-lock hash map from PPTA start states to cached results. Sharding
+// keeps the batch-query workers from serialising on one lock — each
+// ⟨node, field-stack, state⟩ key hashes to one of summaryShards independent
+// stripes, so concurrent queries touching different methods proceed without
+// contention while still sharing every summary (the paper's Figure 4
+// batch-amortisation effect, now across goroutines as well as across
+// queries).
+//
+// Cached pptaResults are immutable once inserted; readers receive the
+// shared pointer and must not mutate it. Two workers that miss on the same
+// key may both run the PPTA; the computation is deterministic, so whichever
+// insert lands last overwrites an identical value.
+
+// summaryShards is the stripe count; a power of two so the shard pick is a
+// mask, sized well above any realistic worker count.
+const summaryShards = 64
+
+// summaryCache is a sharded map from pptaState to *pptaResult.
+type summaryCache struct {
+	shards [summaryShards]summaryShard
+}
+
+type summaryShard struct {
+	mu sync.RWMutex
+	m  map[pptaState]*pptaResult
+}
+
+func newSummaryCache() *summaryCache {
+	c := new(summaryCache)
+	for i := range c.shards {
+		c.shards[i].m = make(map[pptaState]*pptaResult)
+	}
+	return c
+}
+
+func (c *summaryCache) shard(k pptaState) *summaryShard {
+	h := uint32(k.node)*0x9E3779B1 ^ uint32(k.fs)*0x85EBCA77 ^ uint32(k.st)
+	h ^= h >> 16
+	return &c.shards[h&(summaryShards-1)]
+}
+
+func (c *summaryCache) get(k pptaState) (*pptaResult, bool) {
+	s := c.shard(k)
+	s.mu.RLock()
+	r, ok := s.m[k]
+	s.mu.RUnlock()
+	return r, ok
+}
+
+func (c *summaryCache) put(k pptaState, r *pptaResult) {
+	s := c.shard(k)
+	s.mu.Lock()
+	s.m[k] = r
+	s.mu.Unlock()
+}
+
+// size returns the total number of cached summaries across shards.
+func (c *summaryCache) size() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// clear drops every entry, shard by shard, without replacing the cache
+// structure itself. Memory-safe against concurrent readers, but not an
+// exact invalidation barrier: an in-flight query that missed before the
+// clear may insert its summary afterwards — hence DynSum documents that
+// callers must quiesce the engine before invalidating.
+func (c *summaryCache) clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[pptaState]*pptaResult)
+		s.mu.Unlock()
+	}
+}
+
+// deleteIf removes every entry whose key satisfies pred, returning the
+// number removed.
+func (c *summaryCache) deleteIf(pred func(pptaState) bool) int {
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.m {
+			if pred(k) {
+				delete(s.m, k)
+				dropped++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return dropped
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
@@ -120,6 +121,13 @@ type Refinable interface {
 // Metrics aggregates work counters across queries. Counters, unlike wall
 // time, are machine-independent, so tests and EXPERIMENTS.md use them to
 // state reproducible claims.
+//
+// The concurrent kernel (DynSum and the shared driver/PPTA) updates these
+// fields with atomic adds, so one Metrics may be written by many query
+// goroutines at once; read a live engine's counters through Snapshot.
+// Plain field reads remain fine once the engine has quiesced, and the
+// serial engines (REFINEPTS, NOREFINE, STASUM's offline pass) may keep
+// incrementing them directly.
 type Metrics struct {
 	Queries        int64 // PointsTo calls
 	Failed         int64 // queries ended by ErrBudget/ErrDepth
@@ -131,6 +139,27 @@ type Metrics struct {
 	Summaries      int64 // summaries computed (DYNSUM cache entries / STASUM total)
 	RefineIters    int64 // refinement-loop iterations (REFINEPTS)
 	MatchEdges     int64 // match-edge shortcuts taken (REFINEPTS)
+}
+
+// Snapshot returns an atomically-read copy of m, safe to take while
+// queries are in flight on the owning engine. Call it only on an
+// engine's own Metrics (as returned by Analysis.Metrics): engines place
+// the struct first in their layout so the 64-bit atomic loads are
+// aligned on 32-bit platforms; an arbitrary by-value copy carries no
+// such guarantee — and needs no snapshot, being already detached.
+func (m *Metrics) Snapshot() Metrics {
+	return Metrics{
+		Queries:        atomic.LoadInt64(&m.Queries),
+		Failed:         atomic.LoadInt64(&m.Failed),
+		EdgesTraversed: atomic.LoadInt64(&m.EdgesTraversed),
+		TuplesVisited:  atomic.LoadInt64(&m.TuplesVisited),
+		PPTAVisits:     atomic.LoadInt64(&m.PPTAVisits),
+		CacheHits:      atomic.LoadInt64(&m.CacheHits),
+		CacheMisses:    atomic.LoadInt64(&m.CacheMisses),
+		Summaries:      atomic.LoadInt64(&m.Summaries),
+		RefineIters:    atomic.LoadInt64(&m.RefineIters),
+		MatchEdges:     atomic.LoadInt64(&m.MatchEdges),
+	}
 }
 
 // Add accumulates other into m.
@@ -147,6 +176,9 @@ func (m *Metrics) Add(other Metrics) {
 	m.MatchEdges += other.MatchEdges
 }
 
+// String uses plain reads so it is safe on by-value copies regardless of
+// alignment; render a live concurrent engine via Metrics().Snapshot()
+// first.
 func (m *Metrics) String() string {
 	return fmt.Sprintf("queries=%d failed=%d edges=%d tuples=%d ppta=%d hits=%d misses=%d summaries=%d refines=%d matches=%d",
 		m.Queries, m.Failed, m.EdgesTraversed, m.TuplesVisited, m.PPTAVisits,

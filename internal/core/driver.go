@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -70,11 +72,11 @@ func RunDriver(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
 	for len(work) > 0 {
 		cur := work[len(work)-1]
 		work = work[:len(work)-1]
-		m.TuplesVisited++
+		atomic.AddInt64(&m.TuplesVisited, 1)
 
 		res, reused, err := sum.Summarize(cur.node, cur.fs, cur.st, bud)
 		if err != nil {
-			m.Failed++
+			atomic.AddInt64(&m.Failed, 1)
 			return pts, err
 		}
 		if trace != nil {
@@ -104,14 +106,14 @@ func RunDriver(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
 						continue
 					}
 					if !bud.Step() {
-						m.Failed++
+						atomic.AddInt64(&m.Failed, 1)
 						return pts, ErrBudget
 					}
-					m.EdgesTraversed++
+					atomic.AddInt64(&m.EdgesTraversed, 1)
 					switch e.Kind {
 					case pag.Exit:
 						if ctxs.Depth(cur.ctx) >= cfg.MaxCtxDepth {
-							m.Failed++
+							atomic.AddInt64(&m.Failed, 1)
 							return pts, ErrDepth
 						}
 						propagate(driverTuple{e.Src, fr.Fs, S1, ctxs.Push(cur.ctx, e.Label)})
@@ -129,14 +131,14 @@ func RunDriver(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
 						continue
 					}
 					if !bud.Step() {
-						m.Failed++
+						atomic.AddInt64(&m.Failed, 1)
 						return pts, ErrBudget
 					}
-					m.EdgesTraversed++
+					atomic.AddInt64(&m.EdgesTraversed, 1)
 					switch e.Kind {
 					case pag.Entry:
 						if ctxs.Depth(cur.ctx) >= cfg.MaxCtxDepth {
-							m.Failed++
+							atomic.AddInt64(&m.Failed, 1)
 							return pts, ErrDepth
 						}
 						propagate(driverTuple{e.Dst, fr.Fs, S2, ctxs.Push(cur.ctx, e.Label)})

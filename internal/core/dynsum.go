@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -15,18 +17,32 @@ import (
 // The summary cache persists for the lifetime of the engine, so a batch of
 // queries sharing library code gets progressively cheaper — the effect
 // measured in paper Figure 4.
+//
+// A DynSum engine is safe for concurrent queries: the summary cache is
+// sharded (see cache.go), the stack tables intern concurrently, and the
+// work counters are updated atomically, so PointsTo/PointsToCtx may be
+// called from many goroutines and BatchPointsTo fans a query batch out
+// across a worker pool. The mutating operations (ResetCache,
+// InvalidateMethod, setting Tracer or DisableCache) are not synchronised
+// with in-flight queries; quiesce the engine before calling them.
 type DynSum struct {
+	// metrics must stay the first field: its int64 counters are updated
+	// with sync/atomic, which requires 8-byte alignment that 32-bit
+	// platforms only guarantee at the start of an allocated struct.
+	metrics Metrics
+
 	g   *pag.Graph
 	cfg Config
 
 	fields *intstack.Table // field stacks (private)
 	ctxs   *intstack.Table // context stacks (shareable across engines)
 
-	cache   map[pptaState]*pptaResult
-	metrics Metrics
+	cache *summaryCache
 
 	// Tracer, when set, receives one event per driver tuple and per PPTA
-	// summary computation; the Table 1 reproduction uses it.
+	// summary computation; the Table 1 reproduction uses it. Events from
+	// concurrent queries arrive on the calling goroutines — install a
+	// tracer only on serially-driven engines, or make it thread-safe.
 	Tracer func(TraceEvent)
 
 	// DisableCache turns off summary reuse; the cache-ablation benchmark
@@ -57,7 +73,7 @@ func NewDynSum(g *pag.Graph, cfg Config, ctxs *intstack.Table) *DynSum {
 		cfg:    cfg.WithDefaults(),
 		fields: new(intstack.Table),
 		ctxs:   ctxs,
-		cache:  make(map[pptaState]*pptaResult),
+		cache:  newSummaryCache(),
 	}
 }
 
@@ -73,25 +89,20 @@ func (d *DynSum) Ctxs() *intstack.Table { return d.ctxs }
 
 // SummaryCount returns the number of PPTA summaries currently cached —
 // the quantity Figure 5 compares against STASUM.
-func (d *DynSum) SummaryCount() int { return len(d.cache) }
+func (d *DynSum) SummaryCount() int { return d.cache.size() }
 
 // ResetCache drops all summaries (used by the IDE-session example to model
 // invalidation after an edit, and by ablations).
-func (d *DynSum) ResetCache() { d.cache = make(map[pptaState]*pptaResult) }
+func (d *DynSum) ResetCache() { d.cache.clear() }
 
 // InvalidateMethod drops the summaries whose start node lies in method m —
 // the incremental invalidation an IDE performs after editing one method
 // (the paper motivates DYNSUM with exactly this "program undergoing many
 // edits" scenario, §1 and §7).
 func (d *DynSum) InvalidateMethod(m pag.MethodID) int {
-	dropped := 0
-	for k := range d.cache {
-		if d.g.Node(k.node).Method == m {
-			delete(d.cache, k)
-			dropped++
-		}
-	}
-	return dropped
+	return d.cache.deleteIf(func(k pptaState) bool {
+		return d.g.Node(k.node).Method == m
+	})
 }
 
 // PointsTo implements Analysis: the points-to set of v under the empty
@@ -104,7 +115,7 @@ func (d *DynSum) PointsTo(v pag.NodeID) (*PointsToSet, error) {
 // (an ID in the engine's context table). This is DYNSUM(v, c) of paper
 // Algorithm 4.
 func (d *DynSum) PointsToCtx(v pag.NodeID, ctx intstack.ID) (*PointsToSet, error) {
-	d.metrics.Queries++
+	atomic.AddInt64(&d.metrics.Queries, 1)
 	bud := NewBudget(d.cfg.Budget)
 	return RunDriver(d.g, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, bud, &d.metrics, d.Tracer)
 }
@@ -127,22 +138,22 @@ func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *
 	}
 	key := pptaState{node: n, fs: fs, st: st}
 	if !d.DisableCache {
-		if r, ok := d.cache[key]; ok {
-			d.metrics.CacheHits++
+		if r, ok := d.cache.get(key); ok {
+			atomic.AddInt64(&d.metrics.CacheHits, 1)
 			return r.summary(), true, nil
 		}
-		d.metrics.CacheMisses++
+		atomic.AddInt64(&d.metrics.CacheMisses, 1)
 	}
 	r, err := runPPTA(d.g, d.fields, key, d.cfg, bud, &d.metrics)
 	if err != nil {
 		return Summary{}, false, err
 	}
-	d.metrics.Summaries++
+	atomic.AddInt64(&d.metrics.Summaries, 1)
 	if d.Tracer != nil {
 		d.Tracer(TraceEvent{Node: n, Fields: d.fields.Slice(fs), State: st, Kind: "ppta"})
 	}
 	if !d.DisableCache {
-		d.cache[key] = r
+		d.cache.put(key, r)
 	}
 	return r.summary(), false, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -77,7 +79,7 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 	for len(work) > 0 {
 		cur := work[len(work)-1]
 		work = work[:len(work)-1]
-		m.PPTAVisits++
+		atomic.AddInt64(&m.PPTAVisits, 1)
 
 		switch cur.st {
 		case S1:
@@ -93,7 +95,7 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 				if !bud.Step() {
 					return nil, ErrBudget
 				}
-				m.EdgesTraversed++
+				atomic.AddInt64(&m.EdgesTraversed, 1)
 				switch e.Kind {
 				case pag.New:
 					if cur.fs == intstack.Empty {
@@ -130,7 +132,7 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 				if !bud.Step() {
 					return nil, ErrBudget
 				}
-				m.EdgesTraversed++
+				atomic.AddInt64(&m.EdgesTraversed, 1)
 				switch e.Kind {
 				case pag.Assign:
 					push(pptaState{node: e.Dst, fs: cur.fs, st: S2})
@@ -154,7 +156,7 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 				if !bud.Step() {
 					return nil, ErrBudget
 				}
-				m.EdgesTraversed++
+				atomic.AddInt64(&m.EdgesTraversed, 1)
 				// cur.node aliases the base of the pending load: the
 				// loaded value came from the stored source.
 				if top, ok := fields.Peek(cur.fs); ok && top == e.Label {

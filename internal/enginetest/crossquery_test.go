@@ -21,7 +21,7 @@ func newStaWithGamma(prog *pag.Program, ctxs *intstack.Table, k int) *stasum.Eng
 // within-query configuration on random workloads — the dependency-replay
 // machinery makes the cache transparent.
 func TestCrossQueryMemoPreservesAnswers(t *testing.T) {
-	for seed := int64(500); seed < 512; seed++ {
+	for seed := int64(500); seed < 500+seedSpan(12); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 4, Calls: 5, Globals: 1, GlobalAssigns: 2,
 		})
@@ -40,7 +40,7 @@ func TestCrossQueryMemoPreservesAnswers(t *testing.T) {
 // TestStasumGammaSweepSoundness: shrinking the k-limit may only turn
 // answers into conservative failures, never into different answers.
 func TestStasumGammaSweepSoundness(t *testing.T) {
-	for seed := int64(600); seed < 608; seed++ {
+	for seed := int64(600); seed < 600+seedSpan(8); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 4, Calls: 5, Globals: 1, GlobalAssigns: 2,
 		})

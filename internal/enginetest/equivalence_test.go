@@ -26,6 +26,17 @@ import (
 // and the suite visits hundreds of queries.
 var bigBudget = core.Config{Budget: 150_000}
 
+// seedSpan returns how many random-program seeds a sweep visits: the full
+// count by default (CI runs the exhaustive ~20s suite), a small fixed
+// subset under -short so the developer loop stays fast while every
+// property is still exercised on a few programs.
+func seedSpan(full int64) int64 {
+	if testing.Short() && full > 4 {
+		return 4
+	}
+	return full
+}
+
 // conservative reports whether err is an allowed conservative failure
 // (budget or stack-depth exhaustion). Random graphs contain local field
 // cycles on which the explicit-field-stack engines (DYNSUM, STASUM) must
@@ -65,7 +76,7 @@ func compareOn(t *testing.T, tag string, g interface {
 // fully field-sensitive analysis.
 func TestDynSumEqualsNoRefine(t *testing.T) {
 	total, skipped := 0, 0
-	for seed := int64(0); seed < 30; seed++ {
+	for seed := int64(0); seed < seedSpan(30); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 5, Calls: 6, Globals: 2, GlobalAssigns: 3,
 		})
@@ -92,7 +103,7 @@ func TestDynSumEqualsNoRefine(t *testing.T) {
 // TestRefinePtsConvergesToDynSum: run to full refinement, REFINEPTS must
 // agree with DYNSUM.
 func TestRefinePtsConvergesToDynSum(t *testing.T) {
-	for seed := int64(0); seed < 20; seed++ {
+	for seed := int64(0); seed < seedSpan(20); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 4, Calls: 5, Globals: 1, GlobalAssigns: 2,
 		})
@@ -111,7 +122,7 @@ func TestRefinePtsConvergesToDynSum(t *testing.T) {
 // concrete stacks must reproduce the dynamic summaries' answers exactly
 // (within the default gamma bound).
 func TestStaSumMatchesDynSum(t *testing.T) {
-	for seed := int64(0); seed < 20; seed++ {
+	for seed := int64(0); seed < seedSpan(20); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 4, Calls: 5, Globals: 1, GlobalAssigns: 2,
 		})
@@ -129,7 +140,7 @@ func TestStaSumMatchesDynSum(t *testing.T) {
 // TestSoundnessAgainstAndersen: every demand-driven object set must be a
 // subset of the context-insensitive Andersen solution.
 func TestSoundnessAgainstAndersen(t *testing.T) {
-	for seed := int64(100); seed < 120; seed++ {
+	for seed := int64(100); seed < 100+seedSpan(20); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 5, Calls: 6, Globals: 2, GlobalAssigns: 3,
 		})
@@ -163,7 +174,7 @@ func TestSoundnessAgainstAndersen(t *testing.T) {
 // generic cubic CFL-reachability solver running the LFT grammar — the
 // executable specification of §3.2.
 func TestLocalOnlyAgainstCFLOracle(t *testing.T) {
-	for seed := int64(200); seed < 230; seed++ {
+	for seed := int64(200); seed < 200+seedSpan(30); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 1, VarsPerMethod: 7, ObjectsPerMethod: 3,
 			LocalEdges: 10, Calls: 1, // Calls ignored: single method, acyclic mode skips
@@ -209,7 +220,7 @@ func TestLocalOnlyAgainstCFLOracle(t *testing.T) {
 // conservative error — never hang or panic.
 func TestRecursiveProgramsTerminate(t *testing.T) {
 	cfg := core.Config{Budget: 20_000, MaxFieldDepth: 16, MaxCtxDepth: 16}
-	for seed := int64(300); seed < 315; seed++ {
+	for seed := int64(300); seed < 300+seedSpan(15); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 4, Calls: 8, Recursive: true, Globals: 1, GlobalAssigns: 2,
 		})
@@ -233,7 +244,7 @@ func TestRecursiveProgramsTerminate(t *testing.T) {
 // TestWarmCacheIsPureOptimisation: answers from a warm DYNSUM engine equal
 // answers from a cold one on every query of a random workload.
 func TestWarmCacheIsPureOptimisation(t *testing.T) {
-	for seed := int64(400); seed < 410; seed++ {
+	for seed := int64(400); seed < 400+seedSpan(10); seed++ {
 		prog := fixture.RandProgram(seed, fixture.RandConfig{
 			Methods: 5, Calls: 6, Globals: 2, GlobalAssigns: 3,
 		})

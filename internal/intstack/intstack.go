@@ -13,13 +13,23 @@
 // which is exactly what DYNSUM's summary cache (paper Algorithm 4, line 5)
 // needs for its ⟨node, field-stack, state⟩ keys.
 //
-// The zero value of Table is ready to use. Table is not safe for concurrent
-// mutation; each analysis engine owns its own tables.
+// The zero value of Table is ready to use, and a Table is safe for
+// concurrent use by multiple goroutines: the batch-query engine shares one
+// field table and one context table across all workers. Reads (Peek, Pop,
+// Depth, Slice, …) are lock-free — they index into an immutable snapshot of
+// the cell store published with an atomic pointer — while interning (Push)
+// takes a striped read-lock on the fast path (symbol already interned) and
+// a single writer lock only when a genuinely new stack is created. Because
+// every ID a goroutine can hold was published under that writer lock (or
+// reached it through some other synchronisation), the snapshot it loads is
+// always long enough to contain the ID.
 package intstack
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Sym is a stack symbol: a field ID for field stacks or a call-site ID for
@@ -45,40 +55,105 @@ type key struct {
 	sym    Sym
 }
 
-// Table interns stacks. The zero value is an empty, usable table.
-type Table struct {
-	cells []cell     // cells[0] is a sentinel for the empty stack
-	index map[key]ID // (parent, sym) -> interned ID
+// indexShards stripes the intern index so concurrent Push fast paths on
+// different stacks do not serialise on one lock. Must be a power of two.
+const indexShards = 32
+
+// indexShard is one stripe of the (parent, sym) → ID intern index.
+type indexShard struct {
+	mu sync.RWMutex
+	m  map[key]ID
 }
 
-// ensureInit lazily installs the empty-stack sentinel so that the zero
-// value of Table works without a constructor.
-func (t *Table) ensureInit() {
-	if t.cells == nil {
-		t.cells = make([]cell, 1, 64) // cells[0]: empty stack sentinel
-		t.index = make(map[key]ID)
+// Table interns stacks. The zero value is an empty, usable table, safe for
+// concurrent use.
+type Table struct {
+	// mu serialises interning: at most one goroutine appends to the cell
+	// store at a time.
+	mu sync.Mutex
+	// cells is the published snapshot of the cell store; cells[0] is a
+	// sentinel for the empty stack. Published prefixes are immutable, so
+	// readers index into their loaded snapshot without locking.
+	cells  atomic.Pointer[[]cell]
+	shards [indexShards]indexShard
+}
+
+func shardOf(k key) uint32 {
+	h := uint32(k.parent)*0x9E3779B1 ^ uint32(k.sym)*0x85EBCA77
+	h ^= h >> 16
+	return h & (indexShards - 1)
+}
+
+// snapshot returns the current cell store; nil before the first Push.
+func (t *Table) snapshot() []cell {
+	if p := t.cells.Load(); p != nil {
+		return *p
 	}
+	return nil
 }
 
 // Len reports the number of distinct non-empty stacks interned so far.
 func (t *Table) Len() int {
-	if t.cells == nil {
+	cs := t.snapshot()
+	if cs == nil {
 		return 0
 	}
-	return len(t.cells) - 1
+	return len(cs) - 1
 }
 
 // Push returns the stack obtained by pushing sym onto s.
 func (t *Table) Push(s ID, sym Sym) ID {
-	t.ensureInit()
 	k := key{s, sym}
-	if id, ok := t.index[k]; ok {
+	sh := &t.shards[shardOf(k)]
+	sh.mu.RLock()
+	id, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := ID(len(t.cells))
-	t.cells = append(t.cells, cell{parent: s, sym: sym, depth: t.cells[s].depth + 1})
-	t.index[k] = id
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Re-check: another goroutine may have interned k while we waited.
+	sh.mu.RLock()
+	id, ok = sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+
+	cs := t.snapshot()
+	if cs == nil {
+		cs = make([]cell, 1, 64) // cells[0]: empty stack sentinel
+	}
+	id = ID(len(cs))
+	next := appendCell(cs, cell{parent: s, sym: sym, depth: cs[s].depth + 1})
+	// Publish the cells before the index entry: any goroutine that can
+	// observe id also observes a snapshot containing it.
+	t.cells.Store(&next)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[key]ID)
+	}
+	sh.m[k] = id
+	sh.mu.Unlock()
 	return id
+}
+
+// appendCell extends cs by one cell. When capacity allows, it extends in
+// place: the published prefix is untouched and older snapshots remain valid
+// (they never index past their own length). On growth it copies, leaving
+// old snapshots aliased to the retired array.
+func appendCell(cs []cell, c cell) []cell {
+	if len(cs) < cap(cs) {
+		next := cs[:len(cs)+1]
+		next[len(cs)] = c
+		return next
+	}
+	next := make([]cell, len(cs)+1, 2*cap(cs))
+	copy(next, cs)
+	next[len(cs)] = c
+	return next
 }
 
 // Pop returns the stack below the top of s. Pop of the empty stack returns
@@ -87,7 +162,7 @@ func (t *Table) Pop(s ID) ID {
 	if s == Empty {
 		return Empty
 	}
-	return t.cells[s].parent
+	return t.snapshot()[s].parent
 }
 
 // Peek returns the top symbol of s. ok is false iff s is empty.
@@ -95,7 +170,7 @@ func (t *Table) Peek(s ID) (sym Sym, ok bool) {
 	if s == Empty {
 		return 0, false
 	}
-	return t.cells[s].sym, true
+	return t.snapshot()[s].sym, true
 }
 
 // Depth returns the number of symbols on s.
@@ -103,7 +178,7 @@ func (t *Table) Depth(s ID) int {
 	if s == Empty {
 		return 0
 	}
-	return int(t.cells[s].depth)
+	return int(t.snapshot()[s].depth)
 }
 
 // Top returns the top symbol of s, or def if s is empty.
@@ -120,10 +195,11 @@ func (t *Table) Slice(s ID) []Sym {
 	if s == Empty {
 		return nil
 	}
-	out := make([]Sym, 0, t.Depth(s))
+	cs := t.snapshot()
+	out := make([]Sym, 0, cs[s].depth)
 	for s != Empty {
-		out = append(out, t.cells[s].sym)
-		s = t.cells[s].parent
+		out = append(out, cs[s].sym)
+		s = cs[s].parent
 	}
 	return out
 }

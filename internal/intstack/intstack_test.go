@@ -3,6 +3,7 @@ package intstack
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -192,6 +193,54 @@ func TestQuickSharedTable(t *testing.T) {
 			if eq != (a.id == b.id) {
 				t.Fatalf("content-eq=%v but id-eq=%v for %v vs %v",
 					eq, a.id == b.id, a.syms, b.syms)
+			}
+		}
+	}
+}
+
+// TestConcurrentInterning hammers one table from many goroutines, half
+// interning overlapping stacks and half reading them back, and then checks
+// hash-consing still holds: every goroutine interning the same sequence must
+// have received the same ID. Run under -race this validates the table's
+// lock-free read / striped-intern design.
+func TestConcurrentInterning(t *testing.T) {
+	var tab Table
+	const workers = 8
+	const perWorker = 300
+	ids := make([][]ID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			ids[w] = make([]ID, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// Deterministic sequence shared by all workers so their IDs
+				// must collide; the rng only shuffles the read-back mix.
+				syms := []Sym{Sym(i % 7), Sym(i % 5), Sym(i % 3)}
+				s := tab.PushAll(Empty, syms...)
+				ids[w][i] = s
+				if got := tab.Slice(s); len(got) != 3 || got[0] != syms[2] {
+					t.Errorf("worker %d: Slice(%d) = %v", w, s, got)
+					return
+				}
+				if d := tab.Depth(s); d != 3 {
+					t.Errorf("worker %d: Depth = %d, want 3", w, d)
+					return
+				}
+				if rng.Intn(2) == 0 {
+					tab.Pop(tab.Pop(s))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range ids[w] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("hash-consing broken across goroutines: worker %d id %d != worker 0 id %d",
+					w, ids[w][i], ids[0][i])
 			}
 		}
 	}

@@ -40,6 +40,12 @@ const (
 
 // Engine implements REFINEPTS and NOREFINE over one PAG.
 type Engine struct {
+	// metrics must stay the first field: Metrics escapes through the
+	// Analysis interface, where Snapshot reads its int64 counters with
+	// sync/atomic — requiring the 8-byte alignment 32-bit platforms only
+	// guarantee at the start of an allocated struct.
+	metrics core.Metrics
+
 	g   *pag.Graph
 	cfg core.Config
 
@@ -79,8 +85,7 @@ type Engine struct {
 	changed bool // set when a memo entry grows during a pass
 	tainted bool // set when evaluation observed an in-progress entry
 
-	bud     *core.Budget
-	metrics core.Metrics
+	bud *core.Budget
 
 	name string
 }

@@ -49,6 +49,11 @@ const MaxOfflineVisitsDefault = 20000
 // Engine is the STASUM analysis. Construct with New, which runs the
 // offline whole-program summary pass.
 type Engine struct {
+	// metrics must stay the first field: the shared driver updates its
+	// int64 counters with sync/atomic, which requires the 8-byte alignment
+	// 32-bit platforms only guarantee at the start of an allocated struct.
+	metrics core.Metrics
+
 	g   *pag.Graph
 	cfg core.Config
 
@@ -59,7 +64,6 @@ type Engine struct {
 	maxGamma  int
 	maxVisits int
 	summaries map[sumKey]*summary
-	metrics   core.Metrics
 
 	// OfflineVisits counts symbolic states visited during precomputation,
 	// the cost STASUM pays before the first query.
