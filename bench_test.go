@@ -224,6 +224,30 @@ func BenchmarkPPTAQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkPPTAQueryInto: the same warm-cache query through the
+// allocation-free path (frozen CSR graph, pooled scratch, caller-owned
+// result set) — allocs/op must report 0, pinned by the core
+// allocation-regression test.
+func BenchmarkPPTAQueryInto(b *testing.B) {
+	f := fixture.BuildFigure2()
+	f.Prog.G.Freeze()
+	d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	dst := core.NewPointsToSet()
+	if err := d.PointsToInto(dst, f.S1); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.PointsToInto(dst, f.S2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.PointsToInto(dst, f.S2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCFLOracle: the generic cubic solver on the Figure 2 LFT
 // encoding — the baseline DYNSUM's specialisation beats (paper §3.1).
 func BenchmarkCFLOracle(b *testing.B) {

@@ -23,23 +23,33 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "render one table (1-4)")
-		figure   = flag.Int("figure", 0, "render one figure (4 or 5)")
-		all      = flag.Bool("all", false, "render every table and figure")
-		scale    = flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-sized)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		budget   = flag.Int("budget", 75000, "per-query traversal budget")
-		batches  = flag.Int("batches", 10, "query batches for figures 4 and 5")
+		table     = flag.Int("table", 0, "render one table (1-4)")
+		figure    = flag.Int("figure", 0, "render one figure (4 or 5)")
+		all       = flag.Bool("all", false, "render every table and figure")
+		scale     = flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-sized)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		budget    = flag.Int("budget", 75000, "per-query traversal budget")
+		batches   = flag.Int("batches", 10, "query batches for figures 4 and 5")
 		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of text tables (tables 3-4, figures 4-5)")
 		ablations = flag.Bool("ablations", false, "run the cache/locality/k-limit ablations")
 		parallel  = flag.Bool("parallel", false, "run the batch-query parallel-speedup sweep")
+		benchJSON = flag.String("bench-json", "", "measure the benchmark-trajectory workloads and write the snapshot to this JSON file (an existing baseline section in the file is preserved)")
 	)
 	flag.Parse()
 
 	opts := harness.Options{Scale: *scale, Seed: *seed, Budget: *budget, Batches: *batches}
 	if *benchCSV != "" {
 		opts.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+
+	if *benchJSON != "" {
+		if err := harness.WriteBenchJSONFile(*benchJSON, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote benchmark snapshot to %s\n", *benchJSON)
+		return
 	}
 
 	w := os.Stdout

@@ -38,7 +38,7 @@ func main() {
 		return
 	}
 	s := prog.G.Stats()
-	fmt.Printf("program: %s\n%s\n", prog.Name, s)
+	fmt.Printf("program: %s\n%s\n%s\n", prog.Name, s, prog.G.Layout())
 	fmt.Printf("call sites: %d\nquery sites: %d casts, %d derefs, %d factories\n",
 		prog.G.NumCallSites(), len(prog.Casts), len(prog.Derefs), len(prog.Factories))
 }

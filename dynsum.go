@@ -21,6 +21,11 @@
 // query batch out over a worker pool sharing one summary cache:
 //
 //	results := dynsum.BatchPointsTo(engine, vars, 4)
+//
+// Graphs produced by the frontend, the benchmark generator and the PAG
+// decoder are frozen into an immutable CSR layout; on that layout a
+// warm-cache query through engine.PointsToInto (reusing a caller-owned
+// result set) performs zero heap allocations.
 package dynsum
 
 import (
@@ -77,6 +82,10 @@ const DefaultBudget = core.DefaultBudget
 
 // NewBuilder returns a PAG builder over a fresh graph.
 func NewBuilder() *Builder { return pag.NewBuilder() }
+
+// NewPointsToSet returns an empty points-to set, for reuse across queries
+// through the engine's allocation-free PointsToInto path.
+func NewPointsToSet() *PointsToSet { return core.NewPointsToSet() }
 
 // NewDynSum builds the paper's engine: demand-driven points-to analysis
 // with dynamic, context-independent PPTA summaries (Algorithms 3 and 4).

@@ -259,8 +259,9 @@ func (s *solver) process(c cell) {
 		}
 	}
 	// A store edge where n is the BASE (incoming store): new objects of n
-	// open new slots for the stored value.
-	for _, e := range s.g.In(n) {
+	// open new slots for the stored value. Stores are local edges, so only
+	// the local in-partition is scanned.
+	for _, e := range s.g.LocalIn(n) {
 		if e.Kind != pag.Store {
 			continue
 		}

@@ -266,7 +266,10 @@ func (g *genState) buildCells() {
 	// Per-app identity sinks for call-hops, so their fan-in stays
 	// bounded (a single shared sink would accumulate entry edges from
 	// every cell and dominate all traversals).
-	hopSinks := make([]struct{ m pag.MethodID; p, r pag.NodeID }, nApps)
+	hopSinks := make([]struct {
+		m    pag.MethodID
+		p, r pag.NodeID
+	}, nApps)
 	for i := range hopSinks {
 		m := g.method("app.hop", g.object)
 		hopSinks[i].m = m
@@ -522,6 +525,9 @@ func (g *genState) finish() *pag.Program {
 		sites[i] = f.site
 	}
 	prog.Factories = cycle(sites, g.p.QFactoryM)
+	// Synthetic benchmarks are never edited after generation: freeze to
+	// the CSR layout so every engine and experiment runs on the fast path.
+	prog.G.Freeze()
 	return prog
 }
 

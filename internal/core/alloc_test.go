@@ -1,0 +1,95 @@
+// Race instrumentation inserts its own allocations, so the allocation
+// regression is asserted only on uninstrumented builds (the CI full job).
+//
+//go:build !race
+
+package core_test
+
+import (
+	"testing"
+
+	"dynsum/internal/core"
+	"dynsum/internal/fixture"
+	"dynsum/internal/intstack"
+)
+
+// warmFigure2 builds the Figure 2 example, freezes it to the CSR layout,
+// and warms a DYNSUM engine on both motivating queries.
+func warmFigure2(t *testing.T) (*core.DynSum, *fixture.Figure2) {
+	t.Helper()
+	f := fixture.BuildFigure2()
+	f.Prog.G.Freeze()
+	d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	dst := core.NewPointsToSet()
+	if err := d.PointsToInto(dst, f.S1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PointsToInto(dst, f.S2); err != nil {
+		t.Fatal(err)
+	}
+	return d, f
+}
+
+// TestWarmQueryAllocatesNothing is the allocation-regression guard for the
+// zero-allocation query path: a warm-cache DYNSUM points-to query on the
+// Figure 2 motivating example, asked through the reuse API
+// (PointsToInto with a caller-owned result set), must perform zero heap
+// allocations. Per-query state lives in the pooled Scratch, cached PPTA
+// summaries are handed to the driver as read-only views, and the result
+// set's buckets are retained across Reset — so the steady state of a
+// batch touches the allocator not at all.
+func TestWarmQueryAllocatesNothing(t *testing.T) {
+	d, f := warmFigure2(t)
+	dst := core.NewPointsToSet()
+	if err := d.PointsToInto(dst, f.S2); err != nil { // size dst's buckets
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := d.PointsToInto(dst, f.S2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm-cache PointsToInto allocated %.1f times per run, want 0", allocs)
+	}
+	if dst.Len() == 0 {
+		t.Error("warm query returned an empty set")
+	}
+}
+
+// TestWarmPointsToAllocatesOnlyTheResult bounds the allocating
+// convenience API: a warm-cache PointsTo may allocate the returned set
+// (struct, map, buckets) and nothing else.
+func TestWarmPointsToAllocatesOnlyTheResult(t *testing.T) {
+	d, f := warmFigure2(t)
+	const resultAllocBound = 6
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := d.PointsTo(f.S2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > resultAllocBound {
+		t.Errorf("warm-cache PointsTo allocated %.1f times per run, want <= %d (the result set only)",
+			allocs, resultAllocBound)
+	}
+}
+
+// TestColdQueryAllocationBound documents the cold-path bill: with the
+// summary cache emptied before every run (buckets retained), a Figure 2
+// query recomputes its PPTA summaries and re-caches them. The only
+// allocations are the exactly-sized summary slices and their cache
+// entries — bounded, and independent of traversal length.
+func TestColdQueryAllocationBound(t *testing.T) {
+	d, f := warmFigure2(t)
+	dst := core.NewPointsToSet()
+	const coldAllocBound = 64
+	allocs := testing.AllocsPerRun(100, func() {
+		d.ResetCache()
+		if err := d.PointsToCtxInto(dst, f.S2, intstack.Empty); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > coldAllocBound {
+		t.Errorf("cold PointsToCtxInto allocated %.1f times per run, want <= %d", allocs, coldAllocBound)
+	}
+}

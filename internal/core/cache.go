@@ -71,16 +71,17 @@ func (c *summaryCache) size() int {
 	return n
 }
 
-// clear drops every entry, shard by shard, without replacing the cache
-// structure itself. Memory-safe against concurrent readers, but not an
-// exact invalidation barrier: an in-flight query that missed before the
-// clear may insert its summary afterwards — hence DynSum documents that
-// callers must quiesce the engine before invalidating.
+// clear drops every entry, shard by shard, keeping the shard maps (and
+// their buckets) alive so a re-warmed engine does not pay the allocation
+// bill twice. Memory-safe against concurrent readers, but not an exact
+// invalidation barrier: an in-flight query that missed before the clear
+// may insert its summary afterwards — hence DynSum documents that callers
+// must quiesce the engine before invalidating.
 func (c *summaryCache) clear() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.m = make(map[pptaState]*pptaResult)
+		clear(s.m)
 		s.mu.Unlock()
 	}
 }

@@ -11,6 +11,11 @@ import (
 // generically, so that DYNSUM (dynamic summaries) and STASUM (static
 // summaries) share one driver and differ only in how method-local
 // reachability is summarised.
+//
+// The driver's hot loops iterate the partitioned adjacency accessors
+// (GlobalIn/GlobalOut): only the context-bearing global edges of a
+// frontier node are visited, with no kind-filter branch, and all per-query
+// state lives in a pooled Scratch so a warm-cache query allocates nothing.
 
 // FrontierState is a local-closure exit point: the traversal reached Node
 // with field stack Fs in direction St, and Node touches a global edge in
@@ -25,6 +30,10 @@ type FrontierState struct {
 // entirely through local edges, plus the frontier states to expand over
 // global edges. Field-stack IDs are private to the Summarizer; the driver
 // passes them through opaquely.
+//
+// Summary slices are read-only views — they may alias the producer's
+// cache (shared across queries and goroutines) or its Scratch — and are
+// valid only until the next Summarize call of the same query.
 type Summary struct {
 	Objects  []pag.NodeID
 	Frontier []FrontierState
@@ -32,8 +41,11 @@ type Summary struct {
 
 // Summarizer produces the local-closure summary for a state. Reused
 // reports whether the summary came from a cache (for tracing/metrics).
+// sc is the calling query's workspace: implementations run their local
+// closure inside it and may return Summary slices that alias it (see
+// Scratch.Identity), but must not retain it.
 type Summarizer interface {
-	Summarize(n pag.NodeID, fs intstack.ID, st State, bud *Budget) (sum Summary, reused bool, err error)
+	Summarize(n pag.NodeID, fs intstack.ID, st State, bud *Budget, sc *Scratch) (sum Summary, reused bool, err error)
 }
 
 // FieldSlicer is optionally implemented by Summarizers that can render
@@ -58,26 +70,32 @@ func RunDriver(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
 	v pag.NodeID, ctx intstack.ID, bud *Budget, m *Metrics, trace func(TraceEvent)) (*PointsToSet, error) {
 
 	pts := NewPointsToSet()
+	sc := getScratch()
+	err := runDriverInto(g, ctxs, cfg, sum, v, ctx, bud, m, trace, pts, sc)
+	putScratch(sc)
+	return pts, err
+}
+
+// runDriverInto is RunDriver accumulating into a caller-supplied set with
+// a caller-supplied workspace — the allocation-free core.
+func runDriverInto(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
+	v pag.NodeID, ctx intstack.ID, bud *Budget, m *Metrics, trace func(TraceEvent),
+	pts *PointsToSet, sc *Scratch) error {
+
+	sc.resetDriver()
+	defer sc.flushMetrics(m)
 	start := driverTuple{node: v, fs: intstack.Empty, st: S1, ctx: ctx}
-	seen := map[driverTuple]bool{start: true}
-	work := []driverTuple{start}
+	sc.propagate(start)
 
-	propagate := func(tp driverTuple) {
-		if !seen[tp] {
-			seen[tp] = true
-			work = append(work, tp)
-		}
-	}
+	for len(sc.dwork) > 0 {
+		cur := sc.dwork[len(sc.dwork)-1]
+		sc.dwork = sc.dwork[:len(sc.dwork)-1]
+		sc.tuples++
 
-	for len(work) > 0 {
-		cur := work[len(work)-1]
-		work = work[:len(work)-1]
-		atomic.AddInt64(&m.TuplesVisited, 1)
-
-		res, reused, err := sum.Summarize(cur.node, cur.fs, cur.st, bud)
+		res, reused, err := sum.Summarize(cur.node, cur.fs, cur.st, bud, sc)
 		if err != nil {
 			atomic.AddInt64(&m.Failed, 1)
-			return pts, err
+			return err
 		}
 		if trace != nil {
 			ev := TraceEvent{
@@ -101,57 +119,51 @@ func RunDriver(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
 		for _, fr := range res.Frontier {
 			switch fr.St {
 			case S1: // continue backwards over incoming global edges
-				for _, e := range g.In(fr.Node) {
-					if e.Kind.IsLocal() {
-						continue
-					}
+				for _, e := range g.GlobalIn(fr.Node) {
 					if !bud.Step() {
 						atomic.AddInt64(&m.Failed, 1)
-						return pts, ErrBudget
+						return ErrBudget
 					}
-					atomic.AddInt64(&m.EdgesTraversed, 1)
+					sc.edges++
 					switch e.Kind {
 					case pag.Exit:
 						if ctxs.Depth(cur.ctx) >= cfg.MaxCtxDepth {
 							atomic.AddInt64(&m.Failed, 1)
-							return pts, ErrDepth
+							return ErrDepth
 						}
-						propagate(driverTuple{e.Src, fr.Fs, S1, ctxs.Push(cur.ctx, e.Label)})
+						sc.propagate(driverTuple{e.Src, fr.Fs, S1, ctxs.Push(cur.ctx, e.Label)})
 					case pag.Entry:
 						if top, ok := ctxs.Peek(cur.ctx); !ok || top == e.Label {
-							propagate(driverTuple{e.Src, fr.Fs, S1, ctxs.Pop(cur.ctx)})
+							sc.propagate(driverTuple{e.Src, fr.Fs, S1, ctxs.Pop(cur.ctx)})
 						}
 					case pag.AssignGlobal:
-						propagate(driverTuple{e.Src, fr.Fs, S1, intstack.Empty})
+						sc.propagate(driverTuple{e.Src, fr.Fs, S1, intstack.Empty})
 					}
 				}
 			case S2: // continue forwards over outgoing global edges
-				for _, e := range g.Out(fr.Node) {
-					if e.Kind.IsLocal() {
-						continue
-					}
+				for _, e := range g.GlobalOut(fr.Node) {
 					if !bud.Step() {
 						atomic.AddInt64(&m.Failed, 1)
-						return pts, ErrBudget
+						return ErrBudget
 					}
-					atomic.AddInt64(&m.EdgesTraversed, 1)
+					sc.edges++
 					switch e.Kind {
 					case pag.Entry:
 						if ctxs.Depth(cur.ctx) >= cfg.MaxCtxDepth {
 							atomic.AddInt64(&m.Failed, 1)
-							return pts, ErrDepth
+							return ErrDepth
 						}
-						propagate(driverTuple{e.Dst, fr.Fs, S2, ctxs.Push(cur.ctx, e.Label)})
+						sc.propagate(driverTuple{e.Dst, fr.Fs, S2, ctxs.Push(cur.ctx, e.Label)})
 					case pag.Exit:
 						if top, ok := ctxs.Peek(cur.ctx); !ok || top == e.Label {
-							propagate(driverTuple{e.Dst, fr.Fs, S2, ctxs.Pop(cur.ctx)})
+							sc.propagate(driverTuple{e.Dst, fr.Fs, S2, ctxs.Pop(cur.ctx)})
 						}
 					case pag.AssignGlobal:
-						propagate(driverTuple{e.Dst, fr.Fs, S2, intstack.Empty})
+						sc.propagate(driverTuple{e.Dst, fr.Fs, S2, intstack.Empty})
 					}
 				}
 			}
 		}
 	}
-	return pts, nil
+	return nil
 }

@@ -113,11 +113,35 @@ func (d *DynSum) PointsTo(v pag.NodeID) (*PointsToSet, error) {
 
 // PointsToCtx computes the points-to set of v in the given calling context
 // (an ID in the engine's context table). This is DYNSUM(v, c) of paper
-// Algorithm 4.
+// Algorithm 4. It allocates only the returned set; for the allocation-free
+// path, reuse a set through PointsToCtxInto.
 func (d *DynSum) PointsToCtx(v pag.NodeID, ctx intstack.ID) (*PointsToSet, error) {
+	pts := NewPointsToSet()
+	err := d.PointsToCtxInto(pts, v, ctx)
+	return pts, err
+}
+
+// PointsToInto is PointsTo accumulating into a caller-owned set: dst is
+// emptied (retaining capacity) and filled with the answer. A warm-cache
+// query through this path performs zero heap allocations — per-query
+// state lives in a pooled Scratch and cached summaries are returned as
+// read-only views — which is what lets a batch amortise thousands of
+// queries (paper Figure 4) without allocator traffic.
+func (d *DynSum) PointsToInto(dst *PointsToSet, v pag.NodeID) error {
+	return d.PointsToCtxInto(dst, v, intstack.Empty)
+}
+
+// PointsToCtxInto is PointsToCtx accumulating into a caller-owned set; see
+// PointsToInto. On error dst holds the partial set, exactly as the
+// allocating API returns it.
+func (d *DynSum) PointsToCtxInto(dst *PointsToSet, v pag.NodeID, ctx intstack.ID) error {
 	atomic.AddInt64(&d.metrics.Queries, 1)
-	bud := NewBudget(d.cfg.Budget)
-	return RunDriver(d.g, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, bud, &d.metrics, d.Tracer)
+	dst.Reset()
+	sc := getScratch()
+	sc.bud = Budget{Limit: d.cfg.Budget}
+	err := runDriverInto(d.g, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, &sc.bud, &d.metrics, d.Tracer, dst, sc)
+	putScratch(sc)
+	return err
 }
 
 // dynSummarizer adapts DynSum's cached PPTA to the driver interface.
@@ -130,11 +154,13 @@ func (ds *dynSummarizer) SliceFields(fs intstack.ID) []intstack.Sym {
 
 // Summarize returns the PPTA result for the state, from the cache when
 // possible (Algorithm 4, lines 5-9). Nodes without local edges bypass both
-// the PPTA and the cache (paper §4.3).
-func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *Budget) (Summary, bool, error) {
+// the PPTA and the cache (paper §4.3). Cache hits hand the driver direct
+// read-only views of the immutable cached result — no conversion, no
+// allocation.
+func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *Budget, sc *Scratch) (Summary, bool, error) {
 	d := (*DynSum)(ds)
 	if !d.g.HasLocalEdges(n) {
-		return Summary{Frontier: []FrontierState{{Node: n, Fs: fs, St: st}}}, false, nil
+		return Summary{Frontier: sc.Identity(n, fs, st)}, false, nil
 	}
 	key := pptaState{node: n, fs: fs, st: st}
 	if !d.DisableCache {
@@ -144,7 +170,7 @@ func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *
 		}
 		atomic.AddInt64(&d.metrics.CacheMisses, 1)
 	}
-	r, err := runPPTA(d.g, d.fields, key, d.cfg, bud, &d.metrics)
+	r, err := runPPTA(d.g, d.fields, key, d.cfg, bud, &d.metrics, sc)
 	if err != nil {
 		return Summary{}, false, err
 	}
@@ -156,13 +182,4 @@ func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *
 		d.cache.put(key, r)
 	}
 	return r.summary(), false, nil
-}
-
-// summary converts the internal PPTA result to the driver form.
-func (r *pptaResult) summary() Summary {
-	fr := make([]FrontierState, len(r.frontier))
-	for i, f := range r.frontier {
-		fr[i] = FrontierState{Node: f.node, Fs: f.fs, St: f.st}
-	}
-	return Summary{Objects: r.objs, Frontier: fr}
 }

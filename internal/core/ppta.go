@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -25,6 +23,13 @@ import (
 // reusable under every context — the paper's central observation — and is
 // cached by the driver keyed on the full start state.
 //
+// The loops iterate the partitioned adjacency accessors (LocalIn/LocalOut)
+// so only local edges are ever touched — the kind filter the mixed
+// adjacency needed is gone — and all transient state (visited table keyed
+// by a dense uint64 encoding, work stack, result buffers) lives in the
+// query's Scratch; only the final, exactly-sized result slices destined
+// for the summary cache are allocated.
+//
 // Transition rules (value-flow edge orientation; derived from the paper's
 // listings and validated step-by-step against the Table 1 trace — see
 // DESIGN.md §4):
@@ -41,7 +46,7 @@ import (
 //	  store(g) n→x (out):  continue (x, push(f,g), S1)
 //	  store(g) y→n (in):   if top(f)=g continue (y, pop(f), S1)
 
-// pptaState is one visited PPTA state.
+// pptaState is one visited PPTA state; it doubles as the summary-cache key.
 type pptaState struct {
 	node pag.NodeID
 	fs   intstack.ID
@@ -49,73 +54,65 @@ type pptaState struct {
 }
 
 // pptaResult is one method summary: the cached outcome of a PPTA run.
+// Cached results are shared across queries and goroutines and must never
+// be mutated; the driver receives their slices directly (no copy).
 type pptaResult struct {
 	objs     []pag.NodeID
-	frontier []pptaState
+	frontier []FrontierState
 }
 
-// identityResult is the degenerate summary for nodes without local edges:
-// the driver continues from the start state directly (paper §4.3 notes the
-// PPTA is skipped in this case).
-func identityResult(n pag.NodeID, fs intstack.ID, st State) *pptaResult {
-	return &pptaResult{frontier: []pptaState{{node: n, fs: fs, st: st}}}
+// summary adapts the result to the driver form — a pair of read-only
+// slice views, allocation-free.
+func (r *pptaResult) summary() Summary {
+	return Summary{Objects: r.objs, Frontier: r.frontier}
 }
 
-// runPPTA computes DSPOINTSTO(start) with an explicit work stack. Visits
-// and edge traversals are charged to bud; depth overflow and budget
-// exhaustion abort the whole query (the result must not be cached then).
-func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, bud *Budget, m *Metrics) (*pptaResult, error) {
-	res := &pptaResult{}
-	visited := map[pptaState]bool{start: true}
-	work := []pptaState{start}
+// runPPTA computes DSPOINTSTO(start) with an explicit work stack inside
+// sc. Visits and edge traversals are charged to bud; depth overflow and
+// budget exhaustion abort the whole query (the result must not be cached
+// then). The returned result is freshly allocated at exactly the needed
+// size, ready for the shared summary cache.
+func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, bud *Budget, m *Metrics, sc *Scratch) (*pptaResult, error) {
+	sc.resetPPTA()
+	sc.pushPPTA(start)
 
-	push := func(s pptaState) {
-		if !visited[s] {
-			visited[s] = true
-			work = append(work, s)
-		}
-	}
-
-	for len(work) > 0 {
-		cur := work[len(work)-1]
-		work = work[:len(work)-1]
-		atomic.AddInt64(&m.PPTAVisits, 1)
+	for len(sc.pwork) > 0 {
+		cur := sc.pwork[len(sc.pwork)-1]
+		sc.pwork = sc.pwork[:len(sc.pwork)-1]
+		sc.ppta++
 
 		switch cur.st {
 		case S1:
 			// Frontier: a global edge flows into cur.node
 			// (Algorithm 3, lines 15-16).
 			if g.HasGlobalIn(cur.node) {
-				res.frontier = append(res.frontier, cur)
+				sc.frBuf = append(sc.frBuf, FrontierState{Node: cur.node, Fs: cur.fs, St: cur.st})
 			}
-			for _, e := range g.In(cur.node) {
-				if !e.Kind.IsLocal() {
-					continue
-				}
+			for _, e := range g.LocalIn(cur.node) {
 				if !bud.Step() {
 					return nil, ErrBudget
 				}
-				atomic.AddInt64(&m.EdgesTraversed, 1)
+				sc.edges++
 				switch e.Kind {
 				case pag.New:
 					if cur.fs == intstack.Empty {
-						res.objs = append(res.objs, e.Src)
+						sc.objBuf = append(sc.objBuf, e.Src)
 					} else {
 						// "new new-bar": hop through the object to every
 						// variable it is assigned to and flip direction.
-						for _, e2 := range g.Out(e.Src) {
+						for _, e2 := range g.LocalOut(e.Src) {
 							if e2.Kind == pag.New {
-								push(pptaState{node: e2.Dst, fs: cur.fs, st: S2})
+								sc.pushPPTA(pptaState{node: e2.Dst, fs: cur.fs, st: S2})
 							}
 						}
 					}
 				case pag.Assign:
-					push(pptaState{node: e.Src, fs: cur.fs, st: S1})
+					sc.pushPPTA(pptaState{node: e.Src, fs: cur.fs, st: S1})
 				case pag.Load:
 					if fields.Depth(cur.fs) >= cfg.MaxFieldDepth {
 						return nil, ErrDepth
 					}
-					push(pptaState{node: e.Src, fs: fields.Push(cur.fs, e.Label), st: S1})
+					sc.pushPPTA(pptaState{node: e.Src, fs: fields.Push(cur.fs, e.Label), st: S1})
 				}
 			}
 
@@ -123,22 +120,19 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 			// Frontier: a global edge flows out of cur.node
 			// (Algorithm 3, lines 28-29).
 			if g.HasGlobalOut(cur.node) {
-				res.frontier = append(res.frontier, cur)
+				sc.frBuf = append(sc.frBuf, FrontierState{Node: cur.node, Fs: cur.fs, St: cur.st})
 			}
-			for _, e := range g.Out(cur.node) {
-				if !e.Kind.IsLocal() {
-					continue
-				}
+			for _, e := range g.LocalOut(cur.node) {
 				if !bud.Step() {
 					return nil, ErrBudget
 				}
-				atomic.AddInt64(&m.EdgesTraversed, 1)
+				sc.edges++
 				switch e.Kind {
 				case pag.Assign:
-					push(pptaState{node: e.Dst, fs: cur.fs, st: S2})
+					sc.pushPPTA(pptaState{node: e.Dst, fs: cur.fs, st: S2})
 				case pag.Load:
 					if top, ok := fields.Peek(cur.fs); ok && top == e.Label {
-						push(pptaState{node: e.Dst, fs: fields.Pop(cur.fs), st: S2})
+						sc.pushPPTA(pptaState{node: e.Dst, fs: fields.Pop(cur.fs), st: S2})
 					}
 				case pag.Store:
 					// The held value is written into base.g: search for
@@ -146,24 +140,33 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 					if fields.Depth(cur.fs) >= cfg.MaxFieldDepth {
 						return nil, ErrDepth
 					}
-					push(pptaState{node: e.Dst, fs: fields.Push(cur.fs, e.Label), st: S1})
+					sc.pushPPTA(pptaState{node: e.Dst, fs: fields.Push(cur.fs, e.Label), st: S1})
 				}
 			}
-			for _, e := range g.In(cur.node) {
+			for _, e := range g.LocalIn(cur.node) {
 				if e.Kind != pag.Store {
 					continue
 				}
 				if !bud.Step() {
 					return nil, ErrBudget
 				}
-				atomic.AddInt64(&m.EdgesTraversed, 1)
+				sc.edges++
 				// cur.node aliases the base of the pending load: the
 				// loaded value came from the stored source.
 				if top, ok := fields.Peek(cur.fs); ok && top == e.Label {
-					push(pptaState{node: e.Src, fs: fields.Pop(cur.fs), st: S1})
+					sc.pushPPTA(pptaState{node: e.Src, fs: fields.Pop(cur.fs), st: S1})
 				}
 			}
 		}
+	}
+
+	// Materialise the immutable, exactly-sized result for the cache.
+	res := &pptaResult{}
+	if len(sc.objBuf) > 0 {
+		res.objs = append(make([]pag.NodeID, 0, len(sc.objBuf)), sc.objBuf...)
+	}
+	if len(sc.frBuf) > 0 {
+		res.frontier = append(make([]FrontierState, 0, len(sc.frBuf)), sc.frBuf...)
 	}
 	return res, nil
 }

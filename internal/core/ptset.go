@@ -22,6 +22,11 @@ func NewPointsToSet() *PointsToSet {
 	return &PointsToSet{m: make(map[HeapCtx]struct{})}
 }
 
+// Reset empties the set in place, retaining the map's buckets so refilling
+// it does not allocate. The reuse device behind DynSum.PointsToInto's
+// zero-allocation warm path.
+func (s *PointsToSet) Reset() { clear(s.m) }
+
 // Add inserts (obj, ctx) and reports whether it was new.
 func (s *PointsToSet) Add(obj pag.NodeID, ctx intstack.ID) bool {
 	hc := HeapCtx{Obj: obj, Ctx: ctx}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// This file implements the pooled per-query workspace that makes the
+// warm-cache query path allocation-free. A single PointsTo previously
+// allocated a driver visited-map, a driver worklist, a budget, and — per
+// Summarize call, even on cache hits — a converted frontier slice; across
+// the thousands of queries of a batch (paper Figure 4) that allocation
+// traffic dominated the cheap traversals DYNSUM is built around. A
+// Scratch owns all of that state, keyed by dense integer encodings of the
+// ⟨node, field-stack, state⟩ and ⟨node, field-stack, state, context⟩
+// tuples, and is recycled through a sync.Pool shared by all engines and
+// all BatchPointsTo workers, so a query whose state space fits inside a
+// previous high-water mark performs zero heap allocations.
+//
+// The visited sets are open-addressing probe tables with generation
+// stamps rather than Go maps: starting a new query (or PPTA run) is a
+// counter increment instead of an O(capacity) map clear, lookups are a
+// multiplicative hash plus a linear probe with no hash-function call
+// overhead, and a slot whose key recurs across queries (the common case —
+// batches revisit the same states) is re-armed in place, so the tables
+// stabilise at the working-set size.
+
+// visitSet is a generation-stamped open-addressing set of uint64 keys
+// (key 0 is reserved; callers encode so 0 never occurs... encodings here
+// add 1 to avoid it). Not safe for concurrent use.
+type visitSet struct {
+	keys []uint64 // stored as key+1; 0 = empty slot
+	gens []uint32
+	used int // slots holding any (possibly stale) key
+	gen  uint32
+}
+
+// grow (re)allocates the table. Sizes are powers of two.
+func (v *visitSet) grow(n int) {
+	v.keys = make([]uint64, n)
+	v.gens = make([]uint32, n)
+	v.used = 0
+	v.gen = 1
+}
+
+// reset starts a new generation, invalidating every entry in O(1). When
+// stale entries have filled most slots the table is rebuilt, keeping its
+// size: recurring keys re-arm their old slots, so growth only happens
+// through genuinely new keys.
+func (v *visitSet) reset() {
+	if v.keys == nil {
+		v.grow(256)
+		return
+	}
+	v.gen++
+	if v.gen == 0 || v.used > len(v.keys)*3/4 {
+		v.grow(len(v.keys))
+	}
+}
+
+func mix64(k uint64) uint64 {
+	k *= 0x9E3779B97F4A7C15
+	return k ^ (k >> 29)
+}
+
+// visit marks k visited in the current generation, reporting whether it
+// was new to this generation.
+func (v *visitSet) visit(k uint64) bool {
+	k++
+	mask := uint64(len(v.keys) - 1)
+	i := mix64(k) & mask
+	for {
+		switch v.keys[i] {
+		case 0:
+			if v.used >= len(v.keys)*3/4 {
+				v.rehash()
+				return v.visit(k - 1)
+			}
+			v.keys[i] = k
+			v.gens[i] = v.gen
+			v.used++
+			return true
+		case k:
+			if v.gens[i] == v.gen {
+				return false
+			}
+			v.gens[i] = v.gen
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// rehash doubles the table, keeping only current-generation entries.
+func (v *visitSet) rehash() {
+	keys, gens, gen := v.keys, v.gens, v.gen
+	v.grow(2 * len(keys))
+	v.gen = gen
+	for i, k := range keys {
+		if k != 0 && gens[i] == gen {
+			mask := uint64(len(v.keys) - 1)
+			j := mix64(k) & mask
+			for v.keys[j] != 0 {
+				j = (j + 1) & mask
+			}
+			v.keys[j] = k
+			v.gens[j] = gen
+			v.used++
+		}
+	}
+}
+
+// visitSet2 is a visitSet over 128-bit keys (the driver tuple needs node,
+// field stack, context and direction — 94 bits).
+type visitSet2 struct {
+	lo, hi []uint64 // lo stored as lo+1; 0 = empty slot
+	gens   []uint32
+	used   int
+	gen    uint32
+}
+
+func (v *visitSet2) grow(n int) {
+	v.lo = make([]uint64, n)
+	v.hi = make([]uint64, n)
+	v.gens = make([]uint32, n)
+	v.used = 0
+	v.gen = 1
+}
+
+func (v *visitSet2) reset() {
+	if v.lo == nil {
+		v.grow(256)
+		return
+	}
+	v.gen++
+	if v.gen == 0 || v.used > len(v.lo)*3/4 {
+		v.grow(len(v.lo))
+	}
+}
+
+func (v *visitSet2) visit(lo, hi uint64) bool {
+	lo++
+	mask := uint64(len(v.lo) - 1)
+	i := (mix64(lo) ^ mix64(hi)) & mask
+	for {
+		if v.lo[i] == 0 {
+			if v.used >= len(v.lo)*3/4 {
+				v.rehash()
+				return v.visit(lo-1, hi)
+			}
+			v.lo[i], v.hi[i] = lo, hi
+			v.gens[i] = v.gen
+			v.used++
+			return true
+		}
+		if v.lo[i] == lo && v.hi[i] == hi {
+			if v.gens[i] == v.gen {
+				return false
+			}
+			v.gens[i] = v.gen
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (v *visitSet2) rehash() {
+	lo, hi, gens, gen := v.lo, v.hi, v.gens, v.gen
+	v.grow(2 * len(lo))
+	v.gen = gen
+	for i, k := range lo {
+		if k != 0 && gens[i] == gen {
+			mask := uint64(len(v.lo) - 1)
+			j := (mix64(k) ^ mix64(hi[i])) & mask
+			for v.lo[j] != 0 {
+				j = (j + 1) & mask
+			}
+			v.lo[j], v.hi[j] = k, hi[i]
+			v.gens[j] = gen
+			v.used++
+		}
+	}
+}
+
+// Scratch is the reusable workspace of one in-flight query. It is not
+// safe for concurrent use; acquire one per query via the internal pool
+// (RunDriver and DynSum.PointsToCtxInto do this automatically).
+type Scratch struct {
+	// bud is the query budget, embedded so budget setup allocates nothing.
+	bud Budget
+
+	// Batched work counters, flushed into the engine's Metrics once per
+	// query instead of one atomic add per traversed edge.
+	tuples, ppta, edges int64
+
+	// Driver state (Algorithm 4 worklist).
+	seen  visitSet2
+	dwork []driverTuple
+
+	// PPTA state (Algorithm 3 closure).
+	pvisited visitSet
+	pwork    []pptaState
+
+	// Result-accumulation buffers: the PPTA gathers objects and frontier
+	// states here, then copies them once into exactly-sized immutable
+	// slices for the summary cache.
+	objBuf []pag.NodeID
+	frBuf  []FrontierState
+
+	// idBuf backs the single-state frontier of identity summaries (nodes
+	// without local edges), avoiding one allocation per such Summarize.
+	idBuf [1]FrontierState
+}
+
+// dkeys is the dense encoding of a driverTuple: node and field stack in
+// one word, context and direction state in the other. NodeIDs and stack
+// IDs are non-negative int32s, so each fits in 31 bits and the packing is
+// collision-free.
+func dkeys(t driverTuple) (lo, hi uint64) {
+	return uint64(uint32(t.node))<<32 | uint64(uint32(t.fs)),
+		uint64(uint32(t.ctx))<<1 | uint64(t.st)
+}
+
+// pkey is the dense encoding of a pptaState: node<<32 | fs<<1 | st.
+func pkey(s pptaState) uint64 {
+	return uint64(uint32(s.node))<<32 | uint64(uint32(s.fs))<<1 | uint64(s.st)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+func getScratch() *Scratch   { return scratchPool.Get().(*Scratch) }
+func putScratch(sc *Scratch) { scratchPool.Put(sc) }
+
+// resetDriver prepares the driver tables for a new query. Slice
+// truncation keeps the backing array, so a warm re-run touches no
+// allocator.
+func (sc *Scratch) resetDriver() {
+	sc.seen.reset()
+	sc.dwork = sc.dwork[:0]
+}
+
+// resetPPTA prepares the PPTA tables for one summary computation.
+func (sc *Scratch) resetPPTA() {
+	sc.pvisited.reset()
+	sc.pwork = sc.pwork[:0]
+	sc.objBuf = sc.objBuf[:0]
+	sc.frBuf = sc.frBuf[:0]
+}
+
+// flushMetrics adds the batched per-query counters into m in three atomic
+// operations (instead of one per traversed edge) and zeroes them.
+func (sc *Scratch) flushMetrics(m *Metrics) {
+	if sc.tuples != 0 {
+		atomic.AddInt64(&m.TuplesVisited, sc.tuples)
+		sc.tuples = 0
+	}
+	if sc.ppta != 0 {
+		atomic.AddInt64(&m.PPTAVisits, sc.ppta)
+		sc.ppta = 0
+	}
+	if sc.edges != 0 {
+		atomic.AddInt64(&m.EdgesTraversed, sc.edges)
+		sc.edges = 0
+	}
+}
+
+// propagate pushes tp unless it was already seen (Algorithm 4's worklist
+// discipline), as a method so the driver loop needs no heap-allocated
+// closure.
+func (sc *Scratch) propagate(tp driverTuple) {
+	if sc.seen.visit(dkeys(tp)) {
+		sc.dwork = append(sc.dwork, tp)
+	}
+}
+
+// pushPPTA pushes s unless already visited during this PPTA run.
+func (sc *Scratch) pushPPTA(s pptaState) {
+	if sc.pvisited.visit(pkey(s)) {
+		sc.pwork = append(sc.pwork, s)
+	}
+}
+
+// Identity returns the single-state frontier of the identity summary for
+// a node without local edges (paper §4.3). The returned slice aliases the
+// scratch and is valid only until the next Identity call on the same
+// Scratch — the driver consumes each Summary before requesting the next,
+// which is exactly that lifetime.
+func (sc *Scratch) Identity(n pag.NodeID, fs intstack.ID, st State) []FrontierState {
+	sc.idBuf[0] = FrontierState{Node: n, Fs: fs, St: st}
+	return sc.idBuf[:1]
+}

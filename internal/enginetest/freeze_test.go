@@ -1,0 +1,141 @@
+package enginetest
+
+import (
+	"fmt"
+	"testing"
+
+	"dynsum/internal/core"
+	"dynsum/internal/fixture"
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+	"dynsum/internal/refine"
+	"dynsum/internal/stasum"
+)
+
+// This file cross-validates the frozen CSR graph layout against the
+// builder-form adjacency on the random-program corpus. The generator is
+// deterministic per seed, so building a program twice yields two
+// identical PAGs; freezing one of them must change neither the adjacency
+// an engine observes nor any engine's answers.
+
+// edgeSet reduces an adjacency slice to a multiset-independent key set
+// (PAGs are duplicate-free, so set equality is exact equality).
+func edgeSet(es []pag.Edge) map[pag.Edge]bool {
+	m := make(map[pag.Edge]bool, len(es))
+	for _, e := range es {
+		m[e] = true
+	}
+	return m
+}
+
+func sameEdges(a, b []pag.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	bs := edgeSet(b)
+	for _, e := range a {
+		if !bs[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkPartition asserts the layout invariant every engine hot loop
+// depends on: LocalX ∪ GlobalX = X, the partitions are kind-pure, and the
+// concatenation order is locals first.
+func checkPartition(t *testing.T, g *pag.Graph, tag string) {
+	t.Helper()
+	for i := 0; i < g.NumNodes(); i++ {
+		n := pag.NodeID(i)
+		for dir, spans := range map[string][3][]pag.Edge{
+			"out": {g.Out(n), g.LocalOut(n), g.GlobalOut(n)},
+			"in":  {g.In(n), g.LocalIn(n), g.GlobalIn(n)},
+		} {
+			all, loc, glob := spans[0], spans[1], spans[2]
+			if len(loc)+len(glob) != len(all) {
+				t.Fatalf("%s: node %d %s: |local|+|global| = %d+%d != %d",
+					tag, n, dir, len(loc), len(glob), len(all))
+			}
+			for j, e := range all {
+				wantLocal := j < len(loc)
+				if e.Kind.IsLocal() != wantLocal {
+					t.Fatalf("%s: node %d %s[%d] = %v violates the local-first partition",
+						tag, n, dir, j, e)
+				}
+			}
+			for _, e := range loc {
+				if !e.Kind.IsLocal() {
+					t.Fatalf("%s: node %d local %s contains global edge %v", tag, n, dir, e)
+				}
+			}
+			for _, e := range glob {
+				if e.Kind.IsLocal() {
+					t.Fatalf("%s: node %d global %s contains local edge %v", tag, n, dir, e)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenAdjacencyMatchesBuilderForm: freezing preserves every node's
+// adjacency (as a set) and the partition invariant holds in both forms.
+func TestFrozenAdjacencyMatchesBuilderForm(t *testing.T) {
+	for seed := int64(0); seed < seedSpan(20); seed++ {
+		cfg := fixture.RandConfig{Methods: 5, Calls: 6, Globals: 2, GlobalAssigns: 3}
+		mut := fixture.RandProgram(seed, cfg)
+		frz := fixture.RandProgram(seed, cfg)
+		frz.G.Freeze()
+		if !frz.G.Frozen() || mut.G.Frozen() {
+			t.Fatal("freeze state mixed up")
+		}
+		checkPartition(t, mut.G, fmt.Sprintf("seed %d builder", seed))
+		checkPartition(t, frz.G, fmt.Sprintf("seed %d frozen", seed))
+		if mut.G.NumNodes() != frz.G.NumNodes() || mut.G.NumEdges() != frz.G.NumEdges() {
+			t.Fatalf("seed %d: node/edge counts diverge", seed)
+		}
+		for i := 0; i < mut.G.NumNodes(); i++ {
+			n := pag.NodeID(i)
+			if !sameEdges(mut.G.Out(n), frz.G.Out(n)) {
+				t.Errorf("seed %d: Out(%d) diverges after freeze", seed, n)
+			}
+			if !sameEdges(mut.G.In(n), frz.G.In(n)) {
+				t.Errorf("seed %d: In(%d) diverges after freeze", seed, n)
+			}
+		}
+	}
+}
+
+// TestFrozenEnginesMatchBuilderFormEngines is the layout equivalence
+// sweep: every engine, run on the frozen CSR representation, must answer
+// every query identically to the same engine running on the builder-form
+// adjacency of an identically generated program (shared context table, so
+// heap contexts are directly comparable).
+func TestFrozenEnginesMatchBuilderFormEngines(t *testing.T) {
+	for seed := int64(500); seed < 500+seedSpan(12); seed++ {
+		cfg := fixture.RandConfig{Methods: 5, Calls: 6, Globals: 2, GlobalAssigns: 3}
+		mut := fixture.RandProgram(seed, cfg)
+		frz := fixture.RandProgram(seed, cfg)
+		frz.G.Freeze()
+		ctxs := new(intstack.Table)
+		pairs := []struct {
+			name     string
+			mut, frz core.Analysis
+		}{
+			// NOREFINE exercises the refine package's fully field-sensitive
+			// walk (REFINEPTS's extra match-edge shortcut reads the
+			// field-indexed edge lists, which freezing does not touch).
+			{"DYNSUM", core.NewDynSum(mut.G, bigBudget, ctxs), core.NewDynSum(frz.G, bigBudget, ctxs)},
+			{"NOREFINE", refine.NewNoRefine(mut.G, bigBudget, ctxs), refine.NewNoRefine(frz.G, bigBudget, ctxs)},
+			{"STASUM", stasum.New(mut.G, bigBudget, ctxs), stasum.New(frz.G, bigBudget, ctxs)},
+		}
+		for _, v := range fixture.AllLocals(mut) {
+			for _, p := range pairs {
+				a, errA := p.mut.PointsTo(v)
+				b, errB := p.frz.PointsTo(v)
+				compareOn(t, fmt.Sprintf("seed %d %s frozen-vs-builder", seed, p.name),
+					mut.G, v, a, b, errA, errB, true)
+			}
+		}
+	}
+}

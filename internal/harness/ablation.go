@@ -18,11 +18,11 @@ import (
 // CacheAblationResult quantifies the value of DYNSUM's summary cache on
 // one benchmark/client: the edge work with and without reuse.
 type CacheAblationResult struct {
-	Bench, Client      string
-	EdgesWith          int64
-	EdgesWithout       int64
-	PPTAVisitsWith     int64
-	PPTAVisitsWithout  int64
+	Bench, Client     string
+	EdgesWith         int64
+	EdgesWithout      int64
+	PPTAVisitsWith    int64
+	PPTAVisitsWithout int64
 }
 
 // Factor returns how much work the cache saves (without / with).

@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"dynsum/internal/benchgen"
+	"dynsum/internal/clients"
+	"dynsum/internal/core"
+	"dynsum/internal/fixture"
+)
+
+// This file implements the benchmark-trajectory emitter behind
+// `experiments -bench-json`: a machine-readable snapshot of the
+// performance-critical workloads (warm-cache query latency, the Table 4
+// DYNSUM cells, the batch engine), written as JSON so successive PRs can
+// diff ns/op, allocs/op and the deterministic work counters against a
+// committed baseline instead of re-deriving it from scratch.
+
+// BenchRecord is one measured workload.
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	Scale       float64 `json:"scale"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// EdgesTraversed is the deterministic work counter of one operation
+	// (machine-independent, unlike ns_per_op); zero where not applicable.
+	EdgesTraversed int64 `json:"edges_traversed,omitempty"`
+	// SummariesCached is the summary-cache population after one operation.
+	SummariesCached int64 `json:"summaries_cached,omitempty"`
+}
+
+// BenchSnapshot is one full emitter run.
+type BenchSnapshot struct {
+	Tool       string        `json:"tool"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	Records    []BenchRecord `json:"records"`
+}
+
+// BenchFile is the on-disk layout: the current snapshot plus the baseline
+// it should be compared against. WriteBenchJSONFile preserves an existing
+// baseline across re-runs (and promotes the previous current snapshot to
+// baseline when none was recorded), so the file carries before/after
+// numbers through a PR.
+type BenchFile struct {
+	Schema   int            `json:"schema"`
+	Note     string         `json:"note,omitempty"`
+	Baseline *BenchSnapshot `json:"baseline,omitempty"`
+	Current  BenchSnapshot  `json:"current"`
+}
+
+// benchRunner indirects testing.Benchmark so tests can stub the (slow)
+// measurement loop.
+var benchRunner = testing.Benchmark
+
+func record(name string, scale float64, r testing.BenchmarkResult) BenchRecord {
+	return BenchRecord{
+		Name:        name,
+		Scale:       scale,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// RunBenchJSON measures the trajectory workloads and returns the snapshot.
+func RunBenchJSON(opts Options) BenchSnapshot {
+	opts = opts.WithDefaults()
+	snap := BenchSnapshot{
+		Tool:       "experiments -bench-json",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       opts.Seed,
+	}
+
+	// Warm-cache single-query latency on the Figure 2 example — the
+	// engine's hot path, and the workload the allocation-regression test
+	// pins at zero allocations.
+	fig := fixture.BuildFigure2()
+	fig.Prog.G.Freeze()
+	warm := core.NewDynSum(fig.Prog.G, core.Config{}, nil)
+	dst := core.NewPointsToSet()
+	if err := warm.PointsToInto(dst, fig.S1); err != nil {
+		panic(err)
+	}
+	if err := warm.PointsToInto(dst, fig.S2); err != nil {
+		panic(err)
+	}
+	r := benchRunner(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := warm.PointsToInto(dst, fig.S2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	snap.Records = append(snap.Records, record("warm-query/figure2", 1, r))
+
+	// The Table 4 DYNSUM cells on the Figure 4 benchmarks: one cold
+	// engine per op running a full client, as in BenchmarkTable4.
+	for _, bench := range Figure4Benchmarks {
+		p := benchgen.ProfileByNameMust(bench).Scaled(opts.Scale)
+		prog := benchgen.Generate(p, opts.Seed)
+		for _, client := range clients.Names() {
+			var edges, summaries int64
+			r := benchRunner(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := core.NewDynSum(prog.G, opts.config(), nil)
+					if _, err := clients.Run(client, prog, d); err != nil {
+						b.Fatal(err)
+					}
+					m := d.Metrics().Snapshot()
+					edges = m.EdgesTraversed
+					summaries = int64(d.SummaryCount())
+				}
+			})
+			rec := record(fmt.Sprintf("table4/%s/%s/DYNSUM", bench, client), opts.Scale, r)
+			rec.EdgesTraversed = edges
+			rec.SummariesCached = summaries
+			snap.Records = append(snap.Records, rec)
+		}
+	}
+
+	// The batch engine on the Figure 4 strongest case, serial and
+	// 4-worker, matching BenchmarkBatchPointsTo's fixed 0.05 scale.
+	const batchScale = 0.05
+	bp := benchgen.ProfileByNameMust("soot-c").Scaled(batchScale)
+	bprog := benchgen.Generate(bp, opts.Seed)
+	queries, err := clients.Queries("NullDeref", bprog)
+	if err != nil {
+		panic(err)
+	}
+	for _, workers := range []int{1, 4} {
+		name := "batch/soot-c/NullDeref/serial"
+		if workers > 1 {
+			name = fmt.Sprintf("batch/soot-c/NullDeref/workers%d", workers)
+		}
+		var edges, summaries int64
+		r := benchRunner(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := core.NewDynSum(bprog.G, opts.config(), nil)
+				d.BatchPointsTo(queries, workers)
+				m := d.Metrics().Snapshot()
+				edges = m.EdgesTraversed
+				summaries = int64(d.SummaryCount())
+			}
+		})
+		rec := record(name, batchScale, r)
+		rec.EdgesTraversed = edges
+		rec.SummariesCached = summaries
+		snap.Records = append(snap.Records, rec)
+	}
+
+	return snap
+}
+
+// WriteBenchJSONFile measures the trajectory workloads and writes path.
+// If path already holds a snapshot, its baseline section is preserved
+// (or, when absent, its current section becomes the baseline), so the
+// committed file records before/after numbers across a change.
+func WriteBenchJSONFile(path string, opts Options) error {
+	file := BenchFile{Schema: 1}
+	if data, err := os.ReadFile(path); err == nil {
+		var old BenchFile
+		if json.Unmarshal(data, &old) == nil {
+			switch {
+			case old.Baseline != nil:
+				file.Baseline = old.Baseline
+				file.Note = old.Note
+			case len(old.Current.Records) > 0:
+				prev := old.Current
+				file.Baseline = &prev
+			}
+		}
+	}
+	file.Current = RunBenchJSON(opts)
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

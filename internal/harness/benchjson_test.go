@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// stubBench replaces the measurement loop with a single-iteration run so
+// the emitter's plumbing is testable in milliseconds.
+func stubBench(t *testing.T) {
+	t.Helper()
+	prev := benchRunner
+	benchRunner = func(f func(*testing.B)) testing.BenchmarkResult {
+		b := &testing.B{N: 1}
+		f(b)
+		return testing.BenchmarkResult{N: 1, T: 1}
+	}
+	t.Cleanup(func() { benchRunner = prev })
+}
+
+func TestRunBenchJSONRecords(t *testing.T) {
+	stubBench(t)
+	snap := RunBenchJSON(Options{Scale: 0.005, Seed: 1})
+	want := map[string]bool{
+		"warm-query/figure2":              false,
+		"table4/soot-c/NullDeref/DYNSUM":  false,
+		"batch/soot-c/NullDeref/serial":   false,
+		"batch/soot-c/NullDeref/workers4": false,
+	}
+	for _, r := range snap.Records {
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+		}
+		if r.Name == "" || r.Scale == 0 {
+			t.Errorf("malformed record %+v", r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("snapshot missing workload %q", name)
+		}
+	}
+	// Work counters must be populated on the engine workloads.
+	for _, r := range snap.Records {
+		if r.Name == "table4/soot-c/NullDeref/DYNSUM" && (r.EdgesTraversed == 0 || r.SummariesCached == 0) {
+			t.Errorf("table4 record lacks work counters: %+v", r)
+		}
+	}
+}
+
+// TestWriteBenchJSONFileKeepsBaseline: re-running the emitter against an
+// existing file must keep the original baseline (and promote a
+// baseline-less current snapshot to baseline).
+func TestWriteBenchJSONFileKeepsBaseline(t *testing.T) {
+	stubBench(t)
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	opts := Options{Scale: 0.005, Seed: 1}
+
+	// First run: no baseline.
+	if err := WriteBenchJSONFile(path, opts); err != nil {
+		t.Fatal(err)
+	}
+	var first BenchFile
+	mustRead(t, path, &first)
+	if first.Baseline != nil {
+		t.Error("first snapshot should have no baseline")
+	}
+	if len(first.Current.Records) == 0 {
+		t.Fatal("first snapshot empty")
+	}
+
+	// Second run: previous current becomes the baseline.
+	if err := WriteBenchJSONFile(path, opts); err != nil {
+		t.Fatal(err)
+	}
+	var second BenchFile
+	mustRead(t, path, &second)
+	if second.Baseline == nil || len(second.Baseline.Records) != len(first.Current.Records) {
+		t.Fatal("previous current was not promoted to baseline")
+	}
+
+	// Third run: the original baseline is preserved, not rolled.
+	second.Baseline.Tool = "sentinel"
+	out, _ := json.MarshalIndent(&second, "", "  ")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchJSONFile(path, opts); err != nil {
+		t.Fatal(err)
+	}
+	var third BenchFile
+	mustRead(t, path, &third)
+	if third.Baseline == nil || third.Baseline.Tool != "sentinel" {
+		t.Error("existing baseline was not preserved")
+	}
+}
+
+func mustRead(t *testing.T, path string, into *BenchFile) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,12 +17,16 @@
 // concurrent use by multiple goroutines: the batch-query engine shares one
 // field table and one context table across all workers. Reads (Peek, Pop,
 // Depth, Slice, …) are lock-free — they index into an immutable snapshot of
-// the cell store published with an atomic pointer — while interning (Push)
-// takes a striped read-lock on the fast path (symbol already interned) and
-// a single writer lock only when a genuinely new stack is created. Because
-// every ID a goroutine can hold was published under that writer lock (or
-// reached it through some other synchronisation), the snapshot it loads is
-// always long enough to contain the ID.
+// the cell store published with an atomic pointer — and so is the Push
+// fast path (symbol already interned): the intern index is striped into
+// immutable map snapshots published with atomic pointers, so re-interning
+// an existing stack costs two atomic loads and a map lookup, with no
+// read-lock traffic on the query hot path. Only a genuinely new stack
+// takes the writer lock, which copies the affected index stripe
+// (copy-on-write; interning is rare once an analysis is warm). Because the
+// cell store is always published before the index entry that names its
+// newest cell, any goroutine that can observe an ID also observes a
+// snapshot containing it.
 package intstack
 
 import (
@@ -50,19 +54,55 @@ type cell struct {
 	depth  int32
 }
 
-type key struct {
-	parent ID
-	sym    Sym
+// internIndex is the (parent, sym) → ID intern index: an open-addressing
+// probe table whose slots are written with atomic stores (value before
+// key, so a reader that observes a key observes its value) and whose
+// backing arrays are republished wholesale on growth. Readers never lock;
+// the single writer at a time is serialised by Table.mu.
+type internIndex struct {
+	keys []atomic.Uint64 // parent<<32|sym, stored +1; 0 = empty
+	vals []atomic.Uint32 // the interned ID
+	used int             // writer-only occupancy count
 }
 
-// indexShards stripes the intern index so concurrent Push fast paths on
-// different stacks do not serialise on one lock. Must be a power of two.
-const indexShards = 32
+// internKey packs (parent, sym). Both are non-negative int32s, so the
+// packing is collision-free; +1 keeps 0 as the empty-slot sentinel.
+func internKey(parent ID, sym Sym) uint64 {
+	return uint64(uint32(parent))<<32 | (uint64(uint32(sym)) + 1)
+}
 
-// indexShard is one stripe of the (parent, sym) → ID intern index.
-type indexShard struct {
-	mu sync.RWMutex
-	m  map[key]ID
+func mix64(k uint64) uint64 {
+	k *= 0x9E3779B97F4A7C15
+	return k ^ (k >> 29)
+}
+
+// lookup probes for k without locking.
+func (ix *internIndex) lookup(k uint64) (ID, bool) {
+	if ix == nil {
+		return 0, false
+	}
+	mask := uint64(len(ix.keys) - 1)
+	for i := mix64(k) & mask; ; i = (i + 1) & mask {
+		switch ix.keys[i].Load() {
+		case 0:
+			return 0, false
+		case k:
+			return ID(ix.vals[i].Load()), true
+		}
+	}
+}
+
+// insert stores k → id. Caller holds Table.mu and has verified k is
+// absent; the index must have free capacity (the writer grows it first).
+func (ix *internIndex) insert(k uint64, id ID) {
+	mask := uint64(len(ix.keys) - 1)
+	i := mix64(k) & mask
+	for ix.keys[i].Load() != 0 {
+		i = (i + 1) & mask
+	}
+	ix.vals[i].Store(uint32(id))
+	ix.keys[i].Store(k) // publish value before key
+	ix.used++
 }
 
 // Table interns stacks. The zero value is an empty, usable table, safe for
@@ -74,14 +114,8 @@ type Table struct {
 	// cells is the published snapshot of the cell store; cells[0] is a
 	// sentinel for the empty stack. Published prefixes are immutable, so
 	// readers index into their loaded snapshot without locking.
-	cells  atomic.Pointer[[]cell]
-	shards [indexShards]indexShard
-}
-
-func shardOf(k key) uint32 {
-	h := uint32(k.parent)*0x9E3779B1 ^ uint32(k.sym)*0x85EBCA77
-	h ^= h >> 16
-	return h & (indexShards - 1)
+	cells atomic.Pointer[[]cell]
+	index atomic.Pointer[internIndex]
 }
 
 // snapshot returns the current cell store; nil before the first Push.
@@ -101,24 +135,20 @@ func (t *Table) Len() int {
 	return len(cs) - 1
 }
 
-// Push returns the stack obtained by pushing sym onto s.
+// Push returns the stack obtained by pushing sym onto s. The fast path
+// (stack already interned — the steady state of a warm analysis) is two
+// atomic loads and a short probe, with no locks and no stores.
 func (t *Table) Push(s ID, sym Sym) ID {
-	k := key{s, sym}
-	sh := &t.shards[shardOf(k)]
-	sh.mu.RLock()
-	id, ok := sh.m[k]
-	sh.mu.RUnlock()
-	if ok {
+	k := internKey(s, sym)
+	if id, ok := t.index.Load().lookup(k); ok {
 		return id
 	}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	// Re-check: another goroutine may have interned k while we waited.
-	sh.mu.RLock()
-	id, ok = sh.m[k]
-	sh.mu.RUnlock()
-	if ok {
+	ix := t.index.Load()
+	if id, ok := ix.lookup(k); ok {
 		return id
 	}
 
@@ -126,18 +156,38 @@ func (t *Table) Push(s ID, sym Sym) ID {
 	if cs == nil {
 		cs = make([]cell, 1, 64) // cells[0]: empty stack sentinel
 	}
-	id = ID(len(cs))
+	id := ID(len(cs))
 	next := appendCell(cs, cell{parent: s, sym: sym, depth: cs[s].depth + 1})
 	// Publish the cells before the index entry: any goroutine that can
 	// observe id also observes a snapshot containing it.
 	t.cells.Store(&next)
-	sh.mu.Lock()
-	if sh.m == nil {
-		sh.m = make(map[key]ID)
-	}
-	sh.m[k] = id
-	sh.mu.Unlock()
+	ix = ix.withRoom()
+	ix.insert(k, id)
+	t.index.Store(ix)
 	return id
+}
+
+// withRoom returns an index with a free slot: ix itself while it is under
+// three-quarters full, otherwise a doubled rebuild (republished by the
+// caller; concurrent readers keep probing the old arrays, which stay
+// valid and immutable once retired).
+func (ix *internIndex) withRoom() *internIndex {
+	if ix != nil && ix.used < len(ix.keys)*3/4 {
+		return ix
+	}
+	n := 64
+	if ix != nil {
+		n = 2 * len(ix.keys)
+	}
+	nx := &internIndex{keys: make([]atomic.Uint64, n), vals: make([]atomic.Uint32, n)}
+	if ix != nil {
+		for i := range ix.keys {
+			if k := ix.keys[i].Load(); k != 0 {
+				nx.insert(k, ID(ix.vals[i].Load()))
+			}
+		}
+	}
+	return nx
 }
 
 // appendCell extends cs by one cell. When capacity allows, it extends in

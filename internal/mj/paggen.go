@@ -49,6 +49,9 @@ func Compile(name, src string) (*pag.Program, *Info, error) {
 	if err := g.b.G.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("mj: internal error: generated invalid PAG: %w", err)
 	}
+	// Compilation (including on-the-fly call-graph resolution above) is
+	// complete: freeze the PAG into its immutable CSR layout.
+	g.b.G.Freeze()
 	return prog, g.info, nil
 }
 

@@ -124,6 +124,19 @@ func (b *Builder) Ret(cs CallSiteID, ret, lhs NodeID) {
 	b.G.AddEdge(Edge{Src: ret, Dst: lhs, Kind: Exit, Label: int32(cs)})
 }
 
+// Finish validates the constructed graph, freezes it into the immutable
+// CSR layout, and returns it. Use it when construction is complete and no
+// incremental edits will follow; builders that need to keep mutating (IDE
+// scenarios, on-the-fly call-graph growth) keep using G directly and may
+// freeze later — or never.
+func (b *Builder) Finish() (*Graph, error) {
+	if err := b.G.Validate(); err != nil {
+		return nil, err
+	}
+	b.G.Freeze()
+	return b.G, nil
+}
+
 // Call wires a full monomorphic call in one step: it opens a call site in
 // caller targeting callee, connects actuals to formals and, when both ret
 // and lhs are valid, the return value. Slices must have equal length.

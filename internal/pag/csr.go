@@ -1,0 +1,92 @@
+package pag
+
+// This file implements the frozen compressed-sparse-row (CSR) graph layout.
+//
+// A Graph starts life in builder form: per-node []Edge adjacency slices
+// plus the duplicate-suppression edge set. That form is convenient to grow
+// but hostile to the query engines, whose hot loops walk adjacency lists
+// millions of times per batch: every node's edges live in a separate heap
+// allocation, and the builder bookkeeping (edgeSet) stays resident forever.
+//
+// Freeze compacts the graph into two flat edge arrays (out- and in-edges,
+// grouped by node) indexed by offset arrays, and drops the builder-only
+// structures. Within each node's span the edges keep the invariant that
+// AddEdge already maintains incrementally: local edges (new/assign/load/
+// store) first, global edges (assignglobal/entry/exit) after, with the
+// boundary recorded per node. The PPTA (paper Algorithm 3) therefore
+// iterates exactly its local edges and the Algorithm 4 driver exactly its
+// global edges through the LocalIn/LocalOut/GlobalIn/GlobalOut accessors —
+// no kind-filter branch ever runs on the query path.
+//
+// A frozen Graph is immutable: AddNode/AddEdge panic, and every adjacency
+// accessor returns a capacity-clamped subslice so a buggy append in a
+// caller cannot silently overwrite a neighbouring node's edges.
+
+// csr is the frozen adjacency representation. offsets have len(nodes)+1
+// entries; node n's out-edges are outEdges[outStart[n]:outStart[n+1]],
+// with outSplit[n] (an absolute index) marking the first global edge.
+type csr struct {
+	outEdges []Edge
+	outStart []int32
+	outSplit []int32
+
+	inEdges []Edge
+	inStart []int32
+	inSplit []int32
+}
+
+// Freeze converts the graph to the immutable CSR layout and releases the
+// builder-form adjacency and the duplicate-suppression edge set. It is
+// idempotent and must be called only after construction is complete
+// (including any on-the-fly call-graph resolution, which adds entry/exit
+// edges): all mutation of nodes or edges afterwards panics.
+//
+// Engines work on frozen and unfrozen graphs alike — the adjacency
+// accessors present the same partitioned view of both — but the frozen
+// form is what the benchmarks measure: one contiguous allocation per
+// direction, no per-node slice headers, no edge set.
+func (g *Graph) Freeze() {
+	if g.frozen != nil {
+		return
+	}
+	n := len(g.nodes)
+	f := &csr{
+		outStart: make([]int32, n+1),
+		outSplit: make([]int32, n),
+		inStart:  make([]int32, n+1),
+		inSplit:  make([]int32, n),
+	}
+	total := 0
+	for _, es := range g.out {
+		total += len(es)
+	}
+	f.outEdges = make([]Edge, 0, total)
+	f.inEdges = make([]Edge, 0, total)
+	for i := 0; i < n; i++ {
+		f.outStart[i] = int32(len(f.outEdges))
+		f.outSplit[i] = f.outStart[i] + g.outSplit[i]
+		f.outEdges = append(f.outEdges, g.out[i]...)
+		f.inStart[i] = int32(len(f.inEdges))
+		f.inSplit[i] = f.inStart[i] + g.inSplit[i]
+		f.inEdges = append(f.inEdges, g.in[i]...)
+	}
+	f.outStart[n] = int32(len(f.outEdges))
+	f.inStart[n] = int32(len(f.inEdges))
+
+	g.frozen = f
+	g.out, g.in = nil, nil
+	g.outSplit, g.inSplit = nil, nil
+	g.edgeSet = nil
+}
+
+// Frozen reports whether the graph has been compacted to the CSR layout.
+func (g *Graph) Frozen() bool { return g.frozen != nil }
+
+// mustBeMutable panics when the graph is frozen; AddNode/AddEdge call it so
+// a post-freeze mutation fails loudly instead of corrupting the CSR arrays
+// and the derived indexes.
+func (g *Graph) mustBeMutable(op string) {
+	if g.frozen != nil {
+		panic("pag: " + op + " on a frozen graph; Freeze() makes the PAG immutable — build a new graph for edits (or skip Freeze for incrementally edited PAGs)")
+	}
+}

@@ -1,0 +1,172 @@
+package pag
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSmall constructs a two-method graph with both local and global
+// edges touching one node, so every partition accessor has something to
+// return.
+func buildSmall(t *testing.T) (*Builder, NodeID, NodeID) {
+	t.Helper()
+	b := NewBuilder()
+	cls := b.Class("C", NoClass)
+	m1 := b.Method("m1", cls)
+	m2 := b.Method("m2", cls)
+	v := b.Local(m1, "v", cls)
+	w := b.Local(m1, "w", cls)
+	x := b.Local(m2, "x", cls)
+	o := b.Object(m1, "o", cls)
+	f := b.G.AddField("f")
+	b.Alloc(v, o)
+	b.Copy(w, v)
+	b.Load(w, v, f)
+	cs := b.CallSite(m1, "")
+	b.Arg(cs, v, x) // global edge out of v
+	b.Ret(cs, x, w) // global edge into w
+	return b, v, w
+}
+
+func TestPartitionAccessorsBothForms(t *testing.T) {
+	for _, freeze := range []bool{false, true} {
+		b, v, w := buildSmall(t)
+		g := b.G
+		if freeze {
+			g.Freeze()
+		}
+		// v: out = {assign->w, load->w (local)} + {entry->x (global)}.
+		if got := len(g.LocalOut(v)); got != 2 {
+			t.Errorf("freeze=%v: LocalOut(v) = %d edges, want 2", freeze, got)
+		}
+		if got := len(g.GlobalOut(v)); got != 1 || g.GlobalOut(v)[0].Kind != Entry {
+			t.Errorf("freeze=%v: GlobalOut(v) = %v, want one entry edge", freeze, g.GlobalOut(v))
+		}
+		// w: in = {assign, load (local)} + {exit (global)}.
+		if got := len(g.LocalIn(w)); got != 2 {
+			t.Errorf("freeze=%v: LocalIn(w) = %d edges, want 2", freeze, got)
+		}
+		if got := len(g.GlobalIn(w)); got != 1 || g.GlobalIn(w)[0].Kind != Exit {
+			t.Errorf("freeze=%v: GlobalIn(w) = %v, want one exit edge", freeze, g.GlobalIn(w))
+		}
+		// Concatenation order: locals first.
+		out := g.Out(v)
+		if len(out) != 3 || !out[0].Kind.IsLocal() || !out[1].Kind.IsLocal() || out[2].Kind.IsLocal() {
+			t.Errorf("freeze=%v: Out(v) = %v, want locals-first partition", freeze, out)
+		}
+	}
+}
+
+// TestAdjacencyIsAppendSafe: returned slices are capacity-clamped, so an
+// append by a confused caller copies instead of overwriting the
+// neighbouring node's edges (the "must not be mutated" doc promise, now
+// enforced for the append case).
+func TestAdjacencyIsAppendSafe(t *testing.T) {
+	for _, freeze := range []bool{false, true} {
+		b, v, w := buildSmall(t)
+		g := b.G
+		if freeze {
+			g.Freeze()
+		}
+		for _, s := range [][]Edge{g.Out(v), g.In(w), g.LocalOut(v), g.GlobalOut(v), g.LocalIn(w), g.GlobalIn(w)} {
+			if len(s) == 0 {
+				continue
+			}
+			if cap(s) != len(s) {
+				t.Fatalf("freeze=%v: adjacency slice has spare capacity %d > len %d", freeze, cap(s), len(s))
+			}
+		}
+		before := append([]Edge(nil), g.Out(w)...)
+		_ = append(g.Out(v), Edge{Kind: Assign}) // must copy, not clobber
+		after := g.Out(w)
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("freeze=%v: append through Out(v) corrupted Out(w)", freeze)
+			}
+		}
+	}
+}
+
+func TestFrozenGraphPanicsOnMutation(t *testing.T) {
+	b, v, _ := buildSmall(t)
+	g := b.G
+	g.Freeze()
+	g.Freeze() // idempotent
+
+	mustPanic := func(op string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s on a frozen graph did not panic", op)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "frozen") {
+				t.Fatalf("%s panic = %v, want a frozen-graph message", op, r)
+			}
+		}()
+		f()
+	}
+	mustPanic("AddNode", func() { g.AddNode(Local, 0, NoClass, "z") })
+	mustPanic("AddEdge", func() { g.AddEdge(Edge{Src: v, Dst: v, Kind: Assign, Label: NoLabel}) })
+}
+
+func TestFrozenHasEdgeAndLayout(t *testing.T) {
+	b, v, w := buildSmall(t)
+	g := b.G
+	have := Edge{Src: v, Dst: w, Kind: Assign, Label: NoLabel}
+	haveGlobal := g.GlobalOut(v)[0]
+	mutLayout := g.Layout()
+	if mutLayout.Frozen {
+		t.Error("Layout.Frozen true before Freeze")
+	}
+	g.Freeze()
+	if !g.HasEdge(have) || !g.HasEdge(haveGlobal) {
+		t.Error("HasEdge lost edges after freeze")
+	}
+	if g.HasEdge(Edge{Src: w, Dst: v, Kind: Assign, Label: NoLabel}) {
+		t.Error("HasEdge invented an edge after freeze")
+	}
+	frzLayout := g.Layout()
+	if !frzLayout.Frozen {
+		t.Error("Layout.Frozen false after Freeze")
+	}
+	if frzLayout.AdjacencyBytes >= mutLayout.AdjacencyBytes {
+		t.Errorf("freezing did not shrink the estimated adjacency footprint: %d -> %d",
+			mutLayout.AdjacencyBytes, frzLayout.AdjacencyBytes)
+	}
+	if frzLayout.EdgeSlots != 2*g.NumEdges() {
+		t.Errorf("EdgeSlots = %d, want %d", frzLayout.EdgeSlots, 2*g.NumEdges())
+	}
+}
+
+// TestValidateWorksFrozen: Validate reads through the accessors, so it
+// still checks a frozen graph.
+func TestValidateWorksFrozen(t *testing.T) {
+	b, _, _ := buildSmall(t)
+	b.G.Freeze()
+	if err := b.G.Validate(); err != nil {
+		t.Fatalf("frozen Validate: %v", err)
+	}
+}
+
+// TestBuilderFinish: the one-call construction endpoint validates and
+// freezes.
+func TestBuilderFinish(t *testing.T) {
+	b, _, _ := buildSmall(t)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Frozen() {
+		t.Error("Finish did not freeze")
+	}
+	bad := NewBuilder()
+	cls := bad.Class("C", NoClass)
+	m := bad.Method("m", cls)
+	v := bad.Local(m, "v", cls)
+	gbl := bad.GlobalVar("g", cls)
+	bad.G.AddEdge(Edge{Src: gbl, Dst: v, Kind: Assign, Label: NoLabel}) // invalid: assign touching a global
+	if _, err := bad.Finish(); err == nil {
+		t.Error("Finish accepted an invalid graph")
+	}
+}

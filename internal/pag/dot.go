@@ -28,7 +28,7 @@ func (g *Graph) WriteDOT(w io.Writer, title string) error {
 		}
 	}
 	for i := range g.nodes {
-		for _, e := range g.out[NodeID(i)] {
+		for _, e := range g.Out(NodeID(i)) {
 			label, style := "", "solid"
 			switch e.Kind {
 			case New:

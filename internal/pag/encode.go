@@ -56,7 +56,7 @@ func Encode(w io.Writer, p *Program) error {
 		fmt.Fprintf(bw, "node %s %d %d %s\n", n.Kind, n.Method, n.Class, quote(n.Name))
 	}
 	for i := range g.nodes {
-		for _, e := range g.out[NodeID(i)] {
+		for _, e := range g.Out(NodeID(i)) {
 			if e.Label == NoLabel {
 				fmt.Fprintf(bw, "edge %s %d %d\n", e.Kind, e.Src, e.Dst)
 			} else {
@@ -131,6 +131,9 @@ func Decode(r io.Reader) (*Program, error) {
 			g.nullClass = ClassID(i)
 		}
 	}
+	// A decoded program is complete by definition: compact it to the CSR
+	// layout so queries start on the fast path.
+	g.Freeze()
 	return p, nil
 }
 

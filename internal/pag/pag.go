@@ -193,11 +193,29 @@ const (
 //
 // A Graph is immutable during analysis by convention: engines only read it.
 // It is therefore safe to share one Graph among concurrently running
-// engines as long as nobody calls Add* methods.
+// engines as long as nobody calls Add* methods. Calling Freeze after
+// construction makes that convention mechanical: the adjacency is
+// compacted to a flat CSR layout (see csr.go), the builder bookkeeping is
+// released, and AddNode/AddEdge panic.
+//
+// In both representations every node's adjacency is partitioned local
+// edges first, global edges after (outSplit/inSplit record the boundary),
+// so the LocalIn/LocalOut/GlobalIn/GlobalOut accessors return plain
+// subslices and the engines' hot loops run without kind-filter branches.
 type Graph struct {
 	nodes []Node
-	out   [][]Edge
-	in    [][]Edge
+
+	// Builder-form adjacency, nil once frozen. out[n]/in[n] hold node n's
+	// edges with locals in [0:outSplit[n]) and globals after — AddEdge
+	// maintains the partition with an O(1) swap-insert.
+	out      [][]Edge
+	in       [][]Edge
+	outSplit []int32
+	inSplit  []int32
+
+	// frozen is the CSR form, non-nil after Freeze.
+	frozen *csr
+
 	flags []nodeFlags
 
 	fields    []string
@@ -227,7 +245,7 @@ type Graph struct {
 // NewGraph returns an empty PAG.
 func NewGraph() *Graph {
 	g := &Graph{
-		edgeSet:       make(map[Edge]struct{}),
+		edgeSet:       make(map[Edge]struct{}, 64),
 		loadsByField:  make(map[FieldID][]Edge),
 		storesByField: make(map[FieldID][]Edge),
 		fieldIndex:    make(map[string]FieldID),
@@ -255,11 +273,74 @@ func (g *Graph) EdgeKindCount(k EdgeKind) int { return g.edgeCount[k] }
 // Node returns the metadata of n.
 func (g *Graph) Node(n NodeID) Node { return g.nodes[n] }
 
-// Out returns the outgoing edges of n. The slice must not be mutated.
-func (g *Graph) Out(n NodeID) []Edge { return g.out[n] }
+// Out returns the outgoing edges of n, local edges first (see LocalOut/
+// GlobalOut for the two partitions). The slice is read-only: it is
+// capacity-clamped, so appending allocates a copy instead of corrupting
+// the graph, and its contents must not be written.
+func (g *Graph) Out(n NodeID) []Edge {
+	if f := g.frozen; f != nil {
+		return span(f.outEdges, f.outStart[n], f.outStart[n+1])
+	}
+	s := g.out[n]
+	return s[:len(s):len(s)]
+}
 
-// In returns the incoming edges of n. The slice must not be mutated.
-func (g *Graph) In(n NodeID) []Edge { return g.in[n] }
+// In returns the incoming edges of n, local edges first. Read-only; see Out.
+func (g *Graph) In(n NodeID) []Edge {
+	if f := g.frozen; f != nil {
+		return span(f.inEdges, f.inStart[n], f.inStart[n+1])
+	}
+	s := g.in[n]
+	return s[:len(s):len(s)]
+}
+
+// LocalOut returns the outgoing local (new/assign/load/store) edges of n —
+// the PPTA's S2 iteration domain — as a read-only subslice, with no
+// filtering at call time.
+func (g *Graph) LocalOut(n NodeID) []Edge {
+	if f := g.frozen; f != nil {
+		return span(f.outEdges, f.outStart[n], f.outSplit[n])
+	}
+	return span(g.out[n], 0, g.outSplit[n])
+}
+
+// GlobalOut returns the outgoing global (assignglobal/entry/exit) edges of
+// n — the Algorithm 4 driver's S2 iteration domain — as a read-only
+// subslice.
+func (g *Graph) GlobalOut(n NodeID) []Edge {
+	if f := g.frozen; f != nil {
+		return span(f.outEdges, f.outSplit[n], f.outStart[n+1])
+	}
+	return span(g.out[n], g.outSplit[n], int32(len(g.out[n])))
+}
+
+// LocalIn returns the incoming local edges of n — the PPTA's S1 iteration
+// domain — as a read-only subslice.
+func (g *Graph) LocalIn(n NodeID) []Edge {
+	if f := g.frozen; f != nil {
+		return span(f.inEdges, f.inStart[n], f.inSplit[n])
+	}
+	return span(g.in[n], 0, g.inSplit[n])
+}
+
+// GlobalIn returns the incoming global edges of n — the Algorithm 4
+// driver's S1 iteration domain — as a read-only subslice.
+func (g *Graph) GlobalIn(n NodeID) []Edge {
+	if f := g.frozen; f != nil {
+		return span(f.inEdges, f.inSplit[n], f.inStart[n+1])
+	}
+	return span(g.in[n], g.inSplit[n], int32(len(g.in[n])))
+}
+
+// span carves the capacity-clamped subslice edges[i:j] out of a flat edge
+// array, normalising empty spans to nil (so adjacency comparisons treat
+// frozen and builder graphs alike).
+func span(edges []Edge, i, j int32) []Edge {
+	if i == j {
+		return nil
+	}
+	return edges[i:j:j]
+}
 
 // HasLocalIn reports whether n has at least one incoming local edge.
 func (g *Graph) HasLocalIn(n NodeID) bool { return g.flags[n]&flagLocalIn != 0 }
@@ -390,25 +471,45 @@ func (g *Graph) AddCallTarget(cs CallSiteID, m MethodID) {
 	g.callSites[cs].Targets = append(g.callSites[cs].Targets, m)
 }
 
-// AddNode appends a node and returns its ID.
+// AddNode appends a node and returns its ID. It panics on a frozen graph.
 func (g *Graph) AddNode(kind NodeKind, method MethodID, class ClassID, name string) NodeID {
+	g.mustBeMutable("AddNode")
 	g.nodes = append(g.nodes, Node{Kind: kind, Method: method, Class: class, Name: name})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.outSplit = append(g.outSplit, 0)
+	g.inSplit = append(g.inSplit, 0)
 	g.flags = append(g.flags, 0)
 	return NodeID(len(g.nodes) - 1)
+}
+
+// insertPartitioned appends e to an adjacency slice that keeps local edges
+// in [0:*split). A local insert lands at the boundary by swapping the
+// first global edge (if any) to the end — O(1), and the local/global
+// partition each side of the boundary is preserved.
+func insertPartitioned(adj *[]Edge, split *int32, e Edge) {
+	s := append(*adj, e)
+	if e.Kind.IsLocal() {
+		if at := int(*split); at < len(s)-1 {
+			s[at], s[len(s)-1] = s[len(s)-1], s[at]
+		}
+		*split++
+	}
+	*adj = s
 }
 
 // AddEdge inserts e unless an identical edge already exists. It returns
 // true if the edge was new. Duplicate suppression matters because the
 // Andersen call-graph construction re-discovers call targets repeatedly.
+// It panics on a frozen graph.
 func (g *Graph) AddEdge(e Edge) bool {
+	g.mustBeMutable("AddEdge")
 	if _, dup := g.edgeSet[e]; dup {
 		return false
 	}
 	g.edgeSet[e] = struct{}{}
-	g.out[e.Src] = append(g.out[e.Src], e)
-	g.in[e.Dst] = append(g.in[e.Dst], e)
+	insertPartitioned(&g.out[e.Src], &g.outSplit[e.Src], e)
+	insertPartitioned(&g.in[e.Dst], &g.inSplit[e.Dst], e)
 	g.edgeCount[e.Kind]++
 	if e.Kind.IsLocal() {
 		g.flags[e.Src] |= flagLocalOut
@@ -426,8 +527,22 @@ func (g *Graph) AddEdge(e Edge) bool {
 	return true
 }
 
-// HasEdge reports whether an identical edge exists.
+// HasEdge reports whether an identical edge exists. On a frozen graph the
+// edge set has been released, so the (short, partitioned) adjacency span of
+// e.Src is scanned instead.
 func (g *Graph) HasEdge(e Edge) bool {
+	if g.frozen != nil {
+		span := g.GlobalOut(e.Src)
+		if e.Kind.IsLocal() {
+			span = g.LocalOut(e.Src)
+		}
+		for _, have := range span {
+			if have == e {
+				return true
+			}
+		}
+		return false
+	}
 	_, ok := g.edgeSet[e]
 	return ok
 }
@@ -453,7 +568,7 @@ func (g *Graph) IsNullObject(n NodeID) bool {
 // local edges confined to one method. It returns the first violation.
 func (g *Graph) Validate() error {
 	for n := range g.nodes {
-		for _, e := range g.out[NodeID(n)] {
+		for _, e := range g.Out(NodeID(n)) {
 			if err := g.validateEdge(e); err != nil {
 				return err
 			}

@@ -398,7 +398,9 @@ func (en *Engine) evalLoad(e pag.Edge, ctx intstack.ID, out *core.PointsToSet) e
 			return err
 		}
 		for _, rc := range aliases.Pairs() {
-			for _, st := range en.g.In(rc.Obj) { // rc.Obj is an aliased base variable
+			// rc.Obj is an aliased base variable; stores are local edges,
+			// so only its local in-partition needs scanning.
+			for _, st := range en.g.LocalIn(rc.Obj) {
 				if st.Kind != pag.Store || st.Field() != f {
 					continue
 				}
@@ -425,7 +427,9 @@ func (en *Engine) refined(e pag.Edge) bool {
 // starting from its allocation targets.
 func (en *Engine) flowsFromObj(o pag.NodeID, ctx intstack.ID) (*core.PointsToSet, error) {
 	res := core.NewPointsToSet()
-	for _, e := range en.g.Out(o) {
+	// new edges are local, so the allocation targets of o all sit in its
+	// local out-partition.
+	for _, e := range en.g.LocalOut(o) {
 		if e.Kind != pag.New {
 			continue
 		}

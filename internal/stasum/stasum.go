@@ -226,10 +226,7 @@ func (e *Engine) summarize(n pag.NodeID, st core.State) *summary {
 					delta: cur.delta, st: core.S1, needExtra: cur.needExtra,
 				})
 			}
-			for _, edge := range e.g.In(cur.node) {
-				if !edge.Kind.IsLocal() {
-					continue
-				}
+			for _, edge := range e.g.LocalIn(cur.node) {
 				switch edge.Kind {
 				case pag.New:
 					if cur.delta == intstack.Empty {
@@ -241,14 +238,14 @@ func (e *Engine) summarize(n pag.NodeID, st core.State) *summary {
 						}
 						// Nonempty case: switch direction, requiring the
 						// entry stack to be deeper than γ.
-						for _, e2 := range e.g.Out(edge.Src) {
+						for _, e2 := range e.g.LocalOut(edge.Src) {
 							if e2.Kind == pag.New {
 								push(symState{node: e2.Dst, gamma: cur.gamma, delta: cur.delta, st: core.S2, needExtra: true})
 							}
 						}
 					} else {
 						// δ nonempty: the stack is definitely nonempty.
-						for _, e2 := range e.g.Out(edge.Src) {
+						for _, e2 := range e.g.LocalOut(edge.Src) {
 							if e2.Kind == pag.New {
 								push(symState{node: e2.Dst, gamma: cur.gamma, delta: cur.delta, st: core.S2, needExtra: cur.needExtra})
 							}
@@ -273,10 +270,7 @@ func (e *Engine) summarize(n pag.NodeID, st core.State) *summary {
 					delta: cur.delta, st: core.S2, needExtra: cur.needExtra,
 				})
 			}
-			for _, edge := range e.g.Out(cur.node) {
-				if !edge.Kind.IsLocal() {
-					continue
-				}
+			for _, edge := range e.g.LocalOut(cur.node) {
 				switch edge.Kind {
 				case pag.Assign:
 					push(symState{node: edge.Dst, gamma: cur.gamma, delta: cur.delta, st: core.S2, needExtra: cur.needExtra})
@@ -295,7 +289,7 @@ func (e *Engine) summarize(n pag.NodeID, st core.State) *summary {
 						delta: e.fields.Push(cur.delta, edge.Label), st: core.S1, needExtra: cur.needExtra})
 				}
 			}
-			for _, edge := range e.g.In(cur.node) {
+			for _, edge := range e.g.LocalIn(cur.node) {
 				if edge.Kind != pag.Store {
 					continue
 				}
@@ -339,10 +333,10 @@ type staSummarizer Engine
 // field stack fs. Query roots that are not boundary nodes get a summary
 // computed (and stored) lazily — it is still a static, stack-independent
 // summary.
-func (ss *staSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st core.State, bud *core.Budget) (core.Summary, bool, error) {
+func (ss *staSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st core.State, bud *core.Budget, sc *core.Scratch) (core.Summary, bool, error) {
 	e := (*Engine)(ss)
 	if !e.g.HasLocalEdges(n) {
-		return core.Summary{Frontier: []core.FrontierState{{Node: n, Fs: fs, St: st}}}, false, nil
+		return core.Summary{Frontier: sc.Identity(n, fs, st)}, false, nil
 	}
 	key := sumKey{n, st}
 	sum, ok := e.summaries[key]
