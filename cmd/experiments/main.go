@@ -23,18 +23,20 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "render one table (1-4)")
-		figure    = flag.Int("figure", 0, "render one figure (4 or 5)")
-		all       = flag.Bool("all", false, "render every table and figure")
-		scale     = flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-sized)")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		budget    = flag.Int("budget", 75000, "per-query traversal budget")
-		batches   = flag.Int("batches", 10, "query batches for figures 4 and 5")
-		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
-		asCSV     = flag.Bool("csv", false, "emit CSV instead of text tables (tables 3-4, figures 4-5)")
-		ablations = flag.Bool("ablations", false, "run the cache/locality/k-limit ablations")
-		parallel  = flag.Bool("parallel", false, "run the batch-query parallel-speedup sweep")
-		benchJSON = flag.String("bench-json", "", "measure the benchmark-trajectory workloads and write the snapshot to this JSON file (an existing baseline section in the file is preserved)")
+		table        = flag.Int("table", 0, "render one table (1-4)")
+		figure       = flag.Int("figure", 0, "render one figure (4 or 5)")
+		all          = flag.Bool("all", false, "render every table and figure")
+		scale        = flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-sized)")
+		seed         = flag.Int64("seed", 1, "generator seed")
+		budget       = flag.Int("budget", 75000, "per-query traversal budget")
+		batches      = flag.Int("batches", 10, "query batches for figures 4 and 5")
+		benchCSV     = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		asCSV        = flag.Bool("csv", false, "emit CSV instead of text tables (tables 3-4, figures 4-5)")
+		ablations    = flag.Bool("ablations", false, "run the cache/locality/k-limit ablations")
+		parallel     = flag.Bool("parallel", false, "run the batch-query parallel-speedup sweep")
+		benchJSON    = flag.String("bench-json", "", "measure the benchmark-trajectory workloads and write the snapshot to this JSON file (an existing baseline section in the file is preserved)")
+		benchCompare = flag.String("bench-compare", "", "compare a snapshot file's current section against its baseline and warn on regressions")
+		tolerance    = flag.Float64("tolerance", 0.2, "regression tolerance ratio for -bench-compare (0.2 = 20%)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote benchmark snapshot to %s\n", *benchJSON)
+		return
+	}
+	if *benchCompare != "" {
+		// Warnings are advisory (wall clock varies by machine); the exit
+		// code stays zero so CI surfaces rather than blocks.
+		if _, err := harness.CompareBenchFile(os.Stdout, *benchCompare, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -1,11 +1,14 @@
 // Command pagstat prints Table-3-style statistics for a program: either a
 // serialised PAG (.pag, from cmd/benchgen) or MiniJava source (.mj).
+// Frozen graphs additionally report their freeze-time SCC condensation
+// (representative count, node/edge reduction, largest SCC).
 //
 // Usage:
 //
 //	pagstat prog.mj
 //	pagstat bench.pag
 //	pagstat -dot prog.mj > prog.dot
+//	pagstat -bench [-scale 0.02] [-seed 1]   # condensation stats per benchmark
 package main
 
 import (
@@ -13,16 +16,26 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 
+	"dynsum/internal/benchgen"
 	"dynsum/internal/mj"
 	"dynsum/internal/pag"
 )
 
 func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	bench := flag.Bool("bench", false, "report condensation stats for every benchmark profile (incl. cyclic variants)")
+	scale := flag.Float64("scale", 0.02, "benchmark scale factor for -bench")
+	seed := flag.Int64("seed", 1, "generator seed for -bench")
 	flag.Parse()
+
+	if *bench {
+		benchStats(*scale, *seed)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pagstat [-dot] <file.mj|file.pag>")
+		fmt.Fprintln(os.Stderr, "usage: pagstat [-dot] <file.mj|file.pag> | pagstat -bench [-scale f] [-seed n]")
 		os.Exit(2)
 	}
 	prog, err := load(flag.Arg(0))
@@ -39,8 +52,27 @@ func main() {
 	}
 	s := prog.G.Stats()
 	fmt.Printf("program: %s\n%s\n%s\n", prog.Name, s, prog.G.Layout())
+	if prog.G.Frozen() {
+		fmt.Printf("condense: %s\n", prog.G.CondenseStats())
+	}
 	fmt.Printf("call sites: %d\nquery sites: %d casts, %d derefs, %d factories\n",
 		prog.G.NumCallSites(), len(prog.Casts), len(prog.Derefs), len(prog.Factories))
+}
+
+// benchStats renders the per-benchmark condensation table: every Table 3
+// profile plus the cyclic variants, generated at the given scale/seed.
+func benchStats(scale float64, seed int64) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tsccs\tlargest\tnodes\treps\tnode-red%\tlocal-edges\tcondensed\tedge-red%")
+	all := append(append([]benchgen.Profile{}, benchgen.Profiles...), benchgen.CyclicProfiles...)
+	for _, p := range all {
+		prog := benchgen.Generate(p.Scaled(scale), seed)
+		s := prog.G.CondenseStats()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.1f\t%d\t%d\t%.1f\n",
+			p.Name, s.SCCs, s.LargestSCC, s.Nodes, s.Reps, s.NodeReduction(),
+			s.LocalEdges, s.CondensedLocalEdges, s.LocalEdgeReduction())
+	}
+	w.Flush()
 }
 
 // load reads a program from MiniJava source or the textual PAG format.

@@ -18,6 +18,14 @@
 // variables plus (object, field) slots; load/store edges spawn copy edges
 // as base points-to sets grow; propagation runs a difference-based
 // worklist to a fixpoint.
+//
+// Condensation opt-out: the solver runs on the base adjacency, never the
+// SCC-condensed overlay (pag/condense.go), by necessity — on-the-fly
+// call-graph construction mutates the graph (AddEdge), which is only
+// legal pre-freeze, and the overlay is built at freeze time. (Online
+// cycle collapse à la Hardekopf–Lin would live inside this solver's copy
+// graph, not in the PAG overlay.) As the soundness oracle it also wants
+// per-node sets: tests index its results by original NodeID.
 package andersen
 
 import (

@@ -96,8 +96,44 @@ type genState struct {
 	casts  []pag.CastSite
 	derefs []pag.DerefSite
 
+	// segVars buffers the variables of the assign-chain segment being
+	// grown, so cycle closing (cyclic profiles) can wire chord edges
+	// between segment members. Reused across segments.
+	segVars []pag.NodeID
+
 	methSeq int
 }
+
+// closeCycle turns the buffered chain segment into an assign cycle: a
+// back edge from the newest variable to the segment start, plus a chord
+// every third member (loop-carried copy webs are dense, not simple
+// rings). All edges are paid from the assign budget. No-op until the
+// segment reaches CycleLen.
+func (g *genState) closeCycle() bool {
+	if g.p.CycleLen <= 0 || len(g.segVars) < g.p.CycleLen || g.left.assign <= 0 {
+		return false
+	}
+	last := g.segVars[len(g.segVars)-1]
+	g.b.Copy(g.segVars[0], last)
+	g.left.assign--
+	for k := 3; k < len(g.segVars)-1 && g.left.assign > 0; k += 3 {
+		g.b.Copy(g.segVars[k-1], g.segVars[k])
+		g.left.assign--
+	}
+	g.segVars = g.segVars[:0]
+	return true
+}
+
+// segPush appends v to the open chain segment (cyclic profiles only).
+func (g *genState) segPush(v pag.NodeID) {
+	if g.p.CycleLen > 0 {
+		g.segVars = append(g.segVars, v)
+	}
+}
+
+// segReset abandons the open segment (the chain left the method or went
+// through a call hop, so a cycle across it would be illegal or bogus).
+func (g *genState) segReset() { g.segVars = g.segVars[:0] }
 
 func (g *genState) method(prefix string, cls pag.ClassID) pag.MethodID {
 	g.methSeq++
@@ -288,6 +324,18 @@ func (g *genState) buildCells() {
 	if perCell := g.left.assign / cellsEstimate; chainLen > perCell {
 		chainLen = max(1, perCell)
 	}
+	// Cyclic profiles model each app method as one big loop over its
+	// cells: every cell's payload chain is linked to the previous cell's
+	// tail (a loop-carried dependence), and the last tail closes back to
+	// the first head. Together with the per-CycleLen copy webs inside
+	// each chain this makes the whole method's payload flow one strongly
+	// connected component — the redundant-propagation shape cycle
+	// collapse exists for.
+	type loopState struct{ head, tail pag.NodeID }
+	loops := make([]loopState, nApps)
+	for i := range loops {
+		loops[i] = loopState{head: pag.NoNode, tail: pag.NoNode}
+	}
 	// When the global-edge budget is rich relative to the cell count (a
 	// low-locality profile), route part of each payload chain through
 	// id() calls: the queried paths then really cross method boundaries,
@@ -323,8 +371,15 @@ func (g *genState) buildCells() {
 		// Payload chain p -> t1 -> ... -> tn, with a few dereference sites
 		// along it (distinct query variables for NullDeref). The first
 		// callHops hops go through the id() sink instead of a local
-		// assignment (see above).
+		// assignment (see above). A cyclic profile (CycleLen > 0) closes
+		// every CycleLen consecutive local copies into an assign cycle —
+		// the loop-carried copy web of a real loop — paid from the assign
+		// budget; segments interrupted by a call hop never close, so all
+		// cycles stay strictly method-local.
 		t := pv
+		segHead := pv // head of the chain's final hop-free local segment
+		g.segReset()
+		g.segPush(t)
 		sink := hopSinks[cell%len(hopSinks)]
 		for i := 0; i < chainLen && g.left.assign > 0 && g.left.vars > 0; i++ {
 			nt := g.local(m, fmt.Sprintf("t%d", i), pcls)
@@ -332,13 +387,33 @@ func (g *genState) buildCells() {
 				g.b.Call(m, sink.m, "", []pag.NodeID{t}, []pag.NodeID{sink.p}, sink.r, nt)
 				g.left.entry--
 				g.left.exit--
+				g.segReset()
+				segHead = nt
 			} else {
 				g.b.Copy(nt, t)
 				g.left.assign--
+				g.segPush(nt)
+				g.closeCycle()
 			}
 			t = nt
 			if i == chainLen/3 || i == 2*chainLen/3 {
 				g.derefs = append(g.derefs, pag.DerefSite{Var: nt, Name: fmt.Sprintf("cell%d.t%d.use", cell, i)})
+			}
+		}
+
+		// Loop-carried dependence: this iteration's payload also derives
+		// from the previous iteration's result (cyclic profiles only).
+		// The link lands on the head of the chain's final local segment —
+		// never before a call hop — so the method-wide cycle is closed by
+		// assign edges alone and stays a legal local SCC.
+		if g.p.CycleLen > 0 && g.left.assign > 0 {
+			appIdx := cell % len(apps)
+			if ls := &loops[appIdx]; ls.head == pag.NoNode {
+				ls.head, ls.tail = segHead, t
+			} else {
+				g.b.Copy(segHead, ls.tail)
+				g.left.assign--
+				ls.tail = t
 			}
 		}
 
@@ -405,6 +480,16 @@ func (g *genState) buildCells() {
 			back := g.local(m, "gb", pcls)
 			g.b.Copy(back, gv)
 			g.left.aglobal -= 2
+		}
+	}
+
+	// Close each app method's loop: the last iteration's payload feeds the
+	// first (deterministic slice order; see the loop-carried dependence
+	// above).
+	for _, ls := range loops {
+		if ls.head != pag.NoNode && ls.tail != ls.head && g.left.assign > 0 {
+			g.b.Copy(ls.head, ls.tail)
+			g.left.assign--
 		}
 	}
 }
@@ -487,13 +572,18 @@ func (g *genState) fillDeficits() {
 		}
 		g.left.aglobal--
 	}
-	// Assign chains soak up the remaining variables...
+	// Assign chains soak up the remaining variables, closed into cycles
+	// every CycleLen steps on the cyclic profiles (see buildCells).
 	chain := []pag.NodeID{anchor}
 	t := anchor
+	g.segReset()
+	g.segPush(t)
 	for g.left.assign > 0 && g.left.vars > 0 {
 		nt := g.local(m, "af", cls)
 		g.b.Copy(nt, t)
 		g.left.assign--
+		g.segPush(nt)
+		g.closeCycle()
 		t = nt
 		chain = append(chain, nt)
 	}

@@ -33,6 +33,15 @@ type Profile struct {
 	QSafeCast  int
 	QNullDeref int
 	QFactoryM  int
+
+	// CycleLen, when positive, closes the generated assign chains into
+	// cycles of roughly this many variables (the loop-carried copy webs a
+	// compiler frontend emits for real loops: i = φ(i0, i')). Cycle
+	// back-edges are paid from the Assign budget, so the profile's edge
+	// totals and locality are unchanged. The base Table 3 profiles keep 0
+	// (acyclic chains); the CyclicProfiles variants exercise the
+	// freeze-time SCC condensation.
+	CycleLen int
 }
 
 // Profiles lists the paper's nine benchmarks (Table 3). The G (global
@@ -68,9 +77,38 @@ var Profiles = []Profile{
 		QSafeCast: 4090, QNullDeref: 10872, QFactoryM: 1290},
 }
 
-// ProfileByName returns the named profile.
+// CyclicProfiles are loop-heavy variants of three Table 3 rows: identical
+// budgets, but the assign chains close into cycles (CycleLen ≈ one
+// loop's copy web). They are the stress corpus for the SCC condensation:
+// uncondensed traversals revisit every cycle member per query while the
+// condensed overlay walks one representative.
+var CyclicProfiles = makeCyclicProfiles()
+
+func makeCyclicProfiles() []Profile {
+	var out []Profile
+	for _, name := range []string{"soot-c", "bloat", "xalan"} {
+		// Search Profiles directly: ProfileByName also reads
+		// CyclicProfiles, which this function initialises.
+		for _, p := range Profiles {
+			if p.Name == name {
+				p.Name += "-cyclic"
+				p.CycleLen = 12
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// ProfileByName returns the named profile, searching the Table 3 rows and
+// the cyclic variants.
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range CyclicProfiles {
 		if p.Name == name {
 			return p, true
 		}
@@ -131,5 +169,6 @@ func (p Profile) Scaled(f float64) Profile {
 		Assign: s(p.Assign), Load: s(p.Load), Store: s(p.Store),
 		Entry: s(p.Entry), Exit: s(p.Exit), AssignGlobal: s(p.AssignGlobal),
 		QSafeCast: s(p.QSafeCast), QNullDeref: s(p.QNullDeref), QFactoryM: s(p.QFactoryM),
+		CycleLen: p.CycleLen, // structural, not scaled
 	}
 }

@@ -63,28 +63,105 @@ type driverTuple struct {
 	ctx  intstack.ID
 }
 
+// graphView selects between the base adjacency and the SCC-condensed
+// overlay (pag/condense.go) with one predictable nil check per access.
+// With a non-nil cond every node flowing through the driver and the PPTA
+// is a representative: the start tuple is rep-mapped once and condensed
+// edges carry rep-mapped endpoints, so visited tables, worklist tuples
+// and summary-cache keys all collapse onto representatives for free.
+type graphView struct {
+	g    *pag.Graph
+	cond *pag.Condensation
+}
+
+func (v graphView) localIn(n pag.NodeID) []pag.Edge {
+	if v.cond != nil {
+		return v.cond.LocalIn(n)
+	}
+	return v.g.LocalIn(n)
+}
+
+func (v graphView) localOut(n pag.NodeID) []pag.Edge {
+	if v.cond != nil {
+		return v.cond.LocalOut(n)
+	}
+	return v.g.LocalOut(n)
+}
+
+func (v graphView) globalIn(n pag.NodeID) []pag.Edge {
+	if v.cond != nil {
+		return v.cond.GlobalIn(n)
+	}
+	return v.g.GlobalIn(n)
+}
+
+func (v graphView) globalOut(n pag.NodeID) []pag.Edge {
+	if v.cond != nil {
+		return v.cond.GlobalOut(n)
+	}
+	return v.g.GlobalOut(n)
+}
+
+func (v graphView) hasGlobalIn(n pag.NodeID) bool {
+	if v.cond != nil {
+		return v.cond.HasGlobalIn(n)
+	}
+	return v.g.HasGlobalIn(n)
+}
+
+func (v graphView) hasGlobalOut(n pag.NodeID) bool {
+	if v.cond != nil {
+		return v.cond.HasGlobalOut(n)
+	}
+	return v.g.HasGlobalOut(n)
+}
+
+func (v graphView) hasLocalEdges(n pag.NodeID) bool {
+	if v.cond != nil {
+		return v.cond.HasLocalEdges(n)
+	}
+	return v.g.HasLocalEdges(n)
+}
+
+// rep maps n to its SCC representative (identity without condensation).
+func (v graphView) rep(n pag.NodeID) pag.NodeID {
+	if v.cond != nil {
+		return v.cond.Rep(n)
+	}
+	return n
+}
+
 // RunDriver executes the Algorithm 4 worklist for a points-to query on v
 // in context ctx, delegating local closures to sum. Every global-edge
-// traversal is debited against bud. trace may be nil.
-func RunDriver(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
+// traversal is debited against bud. trace may be nil. cond may be nil
+// (run on the base adjacency) or the graph's condensed overlay — then sum
+// must summarise representatives (DYNSUM's dynSummarizer does; STASUM
+// passes nil because its precomputed summaries are keyed by original
+// boundary nodes).
+func RunDriver(g *pag.Graph, cond *pag.Condensation, ctxs *intstack.Table, cfg Config, sum Summarizer,
 	v pag.NodeID, ctx intstack.ID, bud *Budget, m *Metrics, trace func(TraceEvent)) (*PointsToSet, error) {
 
 	pts := NewPointsToSet()
 	sc := getScratch()
-	err := runDriverInto(g, ctxs, cfg, sum, v, ctx, bud, m, trace, pts, sc)
-	putScratch(sc)
+	err := runDriverInto(g, cond, ctxs, cfg, sum, v, ctx, bud, m, trace, pts, sc)
+	putScratch(sc, g.NumNodes())
 	return pts, err
 }
 
 // runDriverInto is RunDriver accumulating into a caller-supplied set with
 // a caller-supplied workspace — the allocation-free core.
-func runDriverInto(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarizer,
+func runDriverInto(g *pag.Graph, cond *pag.Condensation, ctxs *intstack.Table, cfg Config, sum Summarizer,
 	v pag.NodeID, ctx intstack.ID, bud *Budget, m *Metrics, trace func(TraceEvent),
 	pts *PointsToSet, sc *Scratch) error {
 
+	gv := graphView{g: g, cond: cond}
+	sc.gv = gv
 	sc.resetDriver()
 	defer sc.flushMetrics(m)
-	start := driverTuple{node: v, fs: intstack.Empty, st: S1, ctx: ctx}
+	// Entering through the representative is sound because every SCC
+	// member has the identical local closure (pag/condense.go) and the
+	// answer contains objects, never the queried variable itself.
+	start := driverTuple{node: gv.rep(v), fs: intstack.Empty, st: S1, ctx: ctx}
 	sc.propagate(start)
 
 	for len(sc.dwork) > 0 {
@@ -119,7 +196,7 @@ func runDriverInto(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarize
 		for _, fr := range res.Frontier {
 			switch fr.St {
 			case S1: // continue backwards over incoming global edges
-				for _, e := range g.GlobalIn(fr.Node) {
+				for _, e := range gv.globalIn(fr.Node) {
 					if !bud.Step() {
 						atomic.AddInt64(&m.Failed, 1)
 						return ErrBudget
@@ -141,7 +218,7 @@ func runDriverInto(g *pag.Graph, ctxs *intstack.Table, cfg Config, sum Summarize
 					}
 				}
 			case S2: // continue forwards over outgoing global edges
-				for _, e := range g.GlobalOut(fr.Node) {
+				for _, e := range gv.globalOut(fr.Node) {
 					if !bud.Step() {
 						atomic.AddInt64(&m.Failed, 1)
 						return ErrBudget

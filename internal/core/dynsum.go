@@ -23,8 +23,9 @@ import (
 // work counters are updated atomically, so PointsTo/PointsToCtx may be
 // called from many goroutines and BatchPointsTo fans a query batch out
 // across a worker pool. The mutating operations (ResetCache,
-// InvalidateMethod, setting Tracer or DisableCache) are not synchronised
-// with in-flight queries; quiesce the engine before calling them.
+// InvalidateMethod, setting Tracer, DisableCache or DisableCondense) are
+// not synchronised with in-flight queries; quiesce the engine before
+// calling them.
 type DynSum struct {
 	// metrics must stay the first field: its int64 counters are updated
 	// with sync/atomic, which requires 8-byte alignment that 32-bit
@@ -37,7 +38,17 @@ type DynSum struct {
 	fields *intstack.Table // field stacks (private)
 	ctxs   *intstack.Table // context stacks (shareable across engines)
 
-	cache *summaryCache
+	cache  *summaryCache
+	intern *resultIntern // hash-consing table for cached result slices
+
+	// cacheMode records which adjacency mode (condensed or base) filled
+	// the summary cache: 0 unset, 1 condensed, 2 base. Condensed entries
+	// are keyed by SCC representative and hold representative frontiers,
+	// so they are meaningless to the base path (and vice versa); if the
+	// mode observed at query time differs from the cache's, the cache is
+	// dropped before the query runs. Atomic so concurrent first queries
+	// may race to set it without -race findings.
+	cacheMode atomic.Int32
 
 	// Tracer, when set, receives one event per driver tuple and per PPTA
 	// summary computation; the Table 1 reproduction uses it. Events from
@@ -48,6 +59,15 @@ type DynSum struct {
 	// DisableCache turns off summary reuse; the cache-ablation benchmark
 	// uses it to isolate the value of dynamic summaries.
 	DisableCache bool
+
+	// DisableCondense keeps queries on the base (per-node) adjacency even
+	// when the graph carries an SCC-condensed overlay. The condensation
+	// benchmarks and the condensed-vs-uncondensed equivalence sweep use it
+	// to run both paths on one graph. Toggling it between queries (after
+	// quiescing, like every mutator here) drops the summary cache on the
+	// next query: condensed summaries are representative-keyed and cannot
+	// answer base-path queries, nor the reverse.
+	DisableCondense bool
 }
 
 // TraceEvent describes one step of the driver, mirroring the columns of
@@ -74,8 +94,25 @@ func NewDynSum(g *pag.Graph, cfg Config, ctxs *intstack.Table) *DynSum {
 		fields: new(intstack.Table),
 		ctxs:   ctxs,
 		cache:  newSummaryCache(),
+		intern: newResultIntern(),
 	}
 }
+
+// condensation returns the graph's SCC-condensed overlay, or nil when the
+// graph is mutable or DisableCondense is set. Everything downstream — the
+// driver expansion, the PPTA traversal and the summary-cache keys — hangs
+// off this one choice, so the two paths can never mix within a query.
+func (d *DynSum) condensation() *pag.Condensation {
+	if d.DisableCondense {
+		return nil
+	}
+	return d.g.Condensation()
+}
+
+// InternStats reports the hash-consing effect on cached summaries: shared
+// is the number of result slices that re-used an existing backing array,
+// unique the number of distinct arrays retained.
+func (d *DynSum) InternStats() (shared, unique int64) { return d.intern.stats() }
 
 // Name implements Analysis.
 func (d *DynSum) Name() string { return "DYNSUM" }
@@ -92,13 +129,16 @@ func (d *DynSum) Ctxs() *intstack.Table { return d.ctxs }
 func (d *DynSum) SummaryCount() int { return d.cache.size() }
 
 // ResetCache drops all summaries (used by the IDE-session example to model
-// invalidation after an edit, and by ablations).
+// invalidation after an edit, and by ablations). The hash-consing table is
+// kept: re-computed summaries re-share the same canonical arrays.
 func (d *DynSum) ResetCache() { d.cache.clear() }
 
 // InvalidateMethod drops the summaries whose start node lies in method m —
 // the incremental invalidation an IDE performs after editing one method
 // (the paper motivates DYNSUM with exactly this "program undergoing many
-// edits" scenario, §1 and §7).
+// edits" scenario, §1 and §7). Summary keys are SCC representatives on
+// condensed graphs, but assign SCCs never cross methods, so the
+// representative's method is the summary's method.
 func (d *DynSum) InvalidateMethod(m pag.MethodID) int {
 	return d.cache.deleteIf(func(k pptaState) bool {
 		return d.g.Node(k.node).Method == m
@@ -137,10 +177,23 @@ func (d *DynSum) PointsToInto(dst *PointsToSet, v pag.NodeID) error {
 func (d *DynSum) PointsToCtxInto(dst *PointsToSet, v pag.NodeID, ctx intstack.ID) error {
 	atomic.AddInt64(&d.metrics.Queries, 1)
 	dst.Reset()
+	cond := d.condensation()
+	mode := int32(1)
+	if cond == nil {
+		mode = 2
+	}
+	if old := d.cacheMode.Load(); old != mode {
+		if old != 0 {
+			// The adjacency mode flipped (DisableCondense toggled after
+			// warm use): cached summaries are keyed for the other mode.
+			d.cache.clear()
+		}
+		d.cacheMode.Store(mode)
+	}
 	sc := getScratch()
 	sc.bud = Budget{Limit: d.cfg.Budget}
-	err := runDriverInto(d.g, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, &sc.bud, &d.metrics, d.Tracer, dst, sc)
-	putScratch(sc)
+	err := runDriverInto(d.g, cond, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, &sc.bud, &d.metrics, d.Tracer, dst, sc)
+	putScratch(sc, d.g.NumNodes())
 	return err
 }
 
@@ -157,9 +210,19 @@ func (ds *dynSummarizer) SliceFields(fs intstack.ID) []intstack.Sym {
 // the PPTA and the cache (paper §4.3). Cache hits hand the driver direct
 // read-only views of the immutable cached result — no conversion, no
 // allocation.
+//
+// On a condensed graph the state is rep-mapped first, so the cache is
+// keyed by SCC representatives: every member of an assign cycle hits the
+// one shared entry. (The driver already propagates representatives; the
+// mapping here also covers direct Summarize calls and keeps mixed callers
+// safe.) Freshly computed results are hash-consed before insertion, so
+// structurally equal summaries across cache entries share one backing
+// array.
 func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *Budget, sc *Scratch) (Summary, bool, error) {
 	d := (*DynSum)(ds)
-	if !d.g.HasLocalEdges(n) {
+	gv := sc.gv // resolved once per query by the driver
+	n = gv.rep(n)
+	if !gv.hasLocalEdges(n) {
 		return Summary{Frontier: sc.Identity(n, fs, st)}, false, nil
 	}
 	key := pptaState{node: n, fs: fs, st: st}
@@ -170,15 +233,21 @@ func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *
 		}
 		atomic.AddInt64(&d.metrics.CacheMisses, 1)
 	}
-	r, err := runPPTA(d.g, d.fields, key, d.cfg, bud, &d.metrics, sc)
+	r, err := runPPTA(gv, d.fields, key, d.cfg, bud, &d.metrics, sc)
 	if err != nil {
 		return Summary{}, false, err
 	}
-	atomic.AddInt64(&d.metrics.Summaries, 1)
+	computed := atomic.AddInt64(&d.metrics.Summaries, 1)
 	if d.Tracer != nil {
 		d.Tracer(TraceEvent{Node: n, Fields: d.fields.Slice(fs), State: st, Kind: "ppta"})
 	}
 	if !d.DisableCache {
+		// Hash-consing starts once the cache is big enough for the
+		// memory win to pay for the table (see internMinSummaries).
+		if computed > internMinSummaries {
+			r.objs = d.intern.objects(r.objs)
+			r.frontier = d.intern.frontiers(r.frontier)
+		}
 		d.cache.put(key, r)
 	}
 	return r.summary(), false, nil

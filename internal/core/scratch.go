@@ -192,6 +192,11 @@ type Scratch struct {
 	// bud is the query budget, embedded so budget setup allocates nothing.
 	bud Budget
 
+	// gv is the query's graph view (base or condensed adjacency),
+	// resolved once by the driver so Summarize implementations read it
+	// with a field load instead of re-deriving it per tuple.
+	gv graphView
+
 	// Batched work counters, flushed into the engine's Metrics once per
 	// query instead of one atomic add per traversed edge.
 	tuples, ppta, edges int64
@@ -231,8 +236,63 @@ func pkey(s pptaState) uint64 {
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
-func getScratch() *Scratch   { return scratchPool.Get().(*Scratch) }
-func putScratch(sc *Scratch) { scratchPool.Put(sc) }
+func getScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// putScratch returns sc to the pool after trimming buffers that outgrew
+// what queries on a graph of nodes nodes plausibly need. Without the trim
+// one pathological query (a budget-busting traversal of a huge graph)
+// would pin its high-water-mark buffers for the lifetime of the pool —
+// sync.Pool only drops entries under GC pressure, and a busy engine keeps
+// the entry hot forever.
+func putScratch(sc *Scratch, nodes int) {
+	// Drop the graph view: a pooled Scratch must not pin the queried
+	// graph (and its condensed overlay) until GC happens to evict the
+	// pool entry.
+	sc.gv = graphView{}
+	sc.trim(retainLimit(nodes))
+	scratchPool.Put(sc)
+}
+
+// retainLimit is the largest per-buffer capacity worth keeping pooled for
+// a graph of n nodes: a few states per node covers the realistic working
+// set (states are ⟨node, stack, direction⟩ tuples and stacks are shallow
+// on warm paths), clamped so tiny fixtures still keep the 256-slot floor
+// and giant graphs cannot demand unbounded retention.
+func retainLimit(n int) int {
+	const (
+		floor = 1 << 10
+		ceil  = 1 << 20
+	)
+	lim := 4*n + floor
+	if lim > ceil {
+		lim = ceil
+	}
+	return lim
+}
+
+// trim drops any buffer whose capacity exceeds limit; the next query
+// regrows from the defaults. Under-limit buffers are kept, so the
+// steady-state warm path stays allocation-free.
+func (sc *Scratch) trim(limit int) {
+	if len(sc.seen.lo) > limit {
+		sc.seen = visitSet2{}
+	}
+	if len(sc.pvisited.keys) > limit {
+		sc.pvisited = visitSet{}
+	}
+	if cap(sc.dwork) > limit {
+		sc.dwork = nil
+	}
+	if cap(sc.pwork) > limit {
+		sc.pwork = nil
+	}
+	if cap(sc.objBuf) > limit {
+		sc.objBuf = nil
+	}
+	if cap(sc.frBuf) > limit {
+		sc.frBuf = nil
+	}
+}
 
 // resetDriver prepares the driver tables for a new query. Slice
 // truncation keeps the backing array, so a warm re-run touches no

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"dynsum/internal/pag"
+)
+
+// TestScratchTrimDropsOversizedBuffers pins the pool-retention fix: after
+// one giant query, putting the Scratch back for a small graph must drop
+// the outsized buffers instead of pinning them for the pool's lifetime.
+func TestScratchTrimDropsOversizedBuffers(t *testing.T) {
+	sc := new(Scratch)
+	limit := retainLimit(100) // small graph
+
+	// Blow every buffer past the limit.
+	big := limit * 2
+	sc.dwork = make([]driverTuple, 0, big)
+	sc.pwork = make([]pptaState, 0, big)
+	sc.objBuf = make([]pag.NodeID, 0, big)
+	sc.frBuf = make([]FrontierState, 0, big)
+	sc.seen.grow(1 << 20)
+	sc.pvisited.grow(1 << 20)
+
+	sc.trim(limit)
+	if sc.dwork != nil || sc.pwork != nil || sc.objBuf != nil || sc.frBuf != nil {
+		t.Error("oversized work/result buffers survived trim")
+	}
+	if sc.seen.lo != nil || sc.pvisited.keys != nil {
+		t.Error("oversized visited tables survived trim")
+	}
+
+	// A trimmed Scratch must still work.
+	sc.resetDriver()
+	sc.resetPPTA()
+	sc.propagate(driverTuple{node: 1})
+	sc.pushPPTA(pptaState{node: 1})
+	if len(sc.dwork) != 1 || len(sc.pwork) != 1 {
+		t.Error("trimmed Scratch broken")
+	}
+}
+
+// TestScratchTrimKeepsModestBuffers: buffers within the limit survive, so
+// the steady-state warm path stays allocation-free.
+func TestScratchTrimKeepsModestBuffers(t *testing.T) {
+	sc := new(Scratch)
+	limit := retainLimit(100_000)
+	sc.dwork = make([]driverTuple, 0, 512)
+	sc.pwork = make([]pptaState, 0, 512)
+	sc.seen.grow(1 << 10)
+	sc.pvisited.grow(1 << 10)
+	sc.trim(limit)
+	if cap(sc.dwork) != 512 || cap(sc.pwork) != 512 {
+		t.Error("modest work stacks were dropped")
+	}
+	if len(sc.seen.lo) != 1<<10 || len(sc.pvisited.keys) != 1<<10 {
+		t.Error("modest visited tables were dropped")
+	}
+}
+
+func TestRetainLimitBounds(t *testing.T) {
+	if lo := retainLimit(0); lo < 256 {
+		t.Errorf("retainLimit(0) = %d, too small to be useful", lo)
+	}
+	if hi := retainLimit(1 << 30); hi > 1<<20 {
+		t.Errorf("retainLimit(huge) = %d, unbounded retention", hi)
+	}
+	if a, b := retainLimit(1000), retainLimit(2000); a > b {
+		t.Errorf("retainLimit not monotone: %d > %d", a, b)
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -132,6 +133,75 @@ func RunBenchJSON(opts Options) BenchSnapshot {
 		}
 	}
 
+	// Condensation effect on the cyclic profiles: one cold engine per op
+	// running the NullDeref client, on the SCC-condensed overlay vs
+	// forced onto the base adjacency of the same graph. The edge counters
+	// carry the deterministic ≥2x claim; ns_per_op carries the wall-clock
+	// one.
+	for _, p := range benchgen.CyclicProfiles {
+		prog := benchgen.Generate(p.Scaled(opts.Scale), opts.Seed)
+		for _, mode := range []string{"condensed", "base"} {
+			var edges, summaries int64
+			r := benchRunner(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := core.NewDynSum(prog.G, opts.config(), nil)
+					d.DisableCondense = mode == "base"
+					if _, err := clients.Run("NullDeref", prog, d); err != nil {
+						b.Fatal(err)
+					}
+					m := d.Metrics().Snapshot()
+					edges = m.EdgesTraversed
+					summaries = int64(d.SummaryCount())
+				}
+			})
+			rec := record(fmt.Sprintf("condense/%s/NullDeref/%s", p.Name, mode), opts.Scale, r)
+			rec.EdgesTraversed = edges
+			rec.SummariesCached = summaries
+			snap.Records = append(snap.Records, rec)
+		}
+	}
+
+	// Warm-cache latency on a cyclic benchmark, condensed vs base path on
+	// one graph: a repeated single query on an SCC member, and the full
+	// NullDeref batch re-run on a fully warmed engine (where the driver's
+	// tuple and frontier collapse onto representatives shows up even with
+	// every summary cached).
+	cyc := benchgen.Generate(benchgen.ProfileByNameMust("bloat-cyclic").Scaled(opts.Scale), opts.Seed)
+	if len(cyc.Derefs) > 0 {
+		qv := cyc.Derefs[0].Var
+		batch, err := clients.Queries("NullDeref", cyc)
+		if err != nil {
+			panic(err)
+		}
+		for _, mode := range []string{"condensed", "base"} {
+			d := core.NewDynSum(cyc.G, opts.config(), nil)
+			d.DisableCondense = mode == "base"
+			wdst := core.NewPointsToSet()
+			if err := d.PointsToInto(wdst, qv); err != nil {
+				panic(err)
+			}
+			r := benchRunner(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := d.PointsToInto(wdst, qv); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			snap.Records = append(snap.Records, record("warm-query/bloat-cyclic/"+mode, opts.Scale, r))
+
+			d.BatchPointsTo(batch, 1) // warm every query's summaries
+			r = benchRunner(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d.BatchPointsTo(batch, 1)
+				}
+			})
+			snap.Records = append(snap.Records, record("warm-batch/bloat-cyclic/NullDeref/"+mode, opts.Scale, r))
+		}
+	}
+
 	// The batch engine on the Figure 4 strongest case, serial and
 	// 4-worker, matching BenchmarkBatchPointsTo's fixed 0.05 scale.
 	const batchScale = 0.05
@@ -164,6 +234,62 @@ func RunBenchJSON(opts Options) BenchSnapshot {
 	}
 
 	return snap
+}
+
+// CompareBenchFile reads a snapshot file and reports current-vs-baseline
+// regressions: a warning per record whose ns_per_op or edges_traversed
+// exceeds its baseline by more than tolerance (a ratio; 0.2 = 20%). The
+// CI bench job runs this against the committed snapshot and surfaces the
+// warnings without failing the build — wall-clock numbers are machine-
+// dependent, but a >20% jump in the deterministic edge counter is a real
+// algorithmic regression signal.
+func CompareBenchFile(w io.Writer, path string, tolerance float64) (warnings int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var file BenchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if file.Baseline == nil {
+		fmt.Fprintf(w, "%s: no baseline section; nothing to compare\n", path)
+		return 0, nil
+	}
+	base := make(map[string]BenchRecord, len(file.Baseline.Records))
+	for _, r := range file.Baseline.Records {
+		base[r.Name] = r
+	}
+	compared, skipped := 0, 0
+	for _, cur := range file.Current.Records {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue // new workload this PR; nothing to regress against
+		}
+		if b.Scale != cur.Scale {
+			// Different benchmark scale: the counters are from different
+			// graphs and any ratio would be meaningless.
+			skipped++
+			continue
+		}
+		compared++
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+tolerance) {
+			warnings++
+			fmt.Fprintf(w, "WARNING %s: ns/op %.0f -> %.0f (+%.0f%%)\n",
+				cur.Name, b.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/b.NsPerOp-1))
+		}
+		if b.EdgesTraversed > 0 && float64(cur.EdgesTraversed) > float64(b.EdgesTraversed)*(1+tolerance) {
+			warnings++
+			fmt.Fprintf(w, "WARNING %s: edges_traversed %d -> %d (+%.0f%%)\n",
+				cur.Name, b.EdgesTraversed, cur.EdgesTraversed,
+				100*(float64(cur.EdgesTraversed)/float64(b.EdgesTraversed)-1))
+		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "skipped %d records measured at a different scale than their baseline\n", skipped)
+	}
+	fmt.Fprintf(w, "compared %d records against baseline: %d warnings\n", compared, warnings)
+	return warnings, nil
 }
 
 // WriteBenchJSONFile measures the trajectory workloads and writes path.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -24,10 +25,15 @@ func TestRunBenchJSONRecords(t *testing.T) {
 	stubBench(t)
 	snap := RunBenchJSON(Options{Scale: 0.005, Seed: 1})
 	want := map[string]bool{
-		"warm-query/figure2":              false,
-		"table4/soot-c/NullDeref/DYNSUM":  false,
-		"batch/soot-c/NullDeref/serial":   false,
-		"batch/soot-c/NullDeref/workers4": false,
+		"warm-query/figure2":                         false,
+		"table4/soot-c/NullDeref/DYNSUM":             false,
+		"batch/soot-c/NullDeref/serial":              false,
+		"batch/soot-c/NullDeref/workers4":            false,
+		"condense/soot-c-cyclic/NullDeref/condensed": false,
+		"condense/soot-c-cyclic/NullDeref/base":      false,
+		"condense/bloat-cyclic/NullDeref/condensed":  false,
+		"warm-query/bloat-cyclic/condensed":          false,
+		"warm-query/bloat-cyclic/base":               false,
 	}
 	for _, r := range snap.Records {
 		if _, ok := want[r.Name]; ok {
@@ -47,6 +53,72 @@ func TestRunBenchJSONRecords(t *testing.T) {
 		if r.Name == "table4/soot-c/NullDeref/DYNSUM" && (r.EdgesTraversed == 0 || r.SummariesCached == 0) {
 			t.Errorf("table4 record lacks work counters: %+v", r)
 		}
+	}
+
+	// The condensation pairs must show the condensed path traversing
+	// strictly fewer edges than the base path on the same cyclic graph.
+	edges := map[string]int64{}
+	for _, r := range snap.Records {
+		edges[r.Name] = r.EdgesTraversed
+	}
+	for _, bench := range []string{"soot-c-cyclic", "bloat-cyclic", "xalan-cyclic"} {
+		on := edges["condense/"+bench+"/NullDeref/condensed"]
+		off := edges["condense/"+bench+"/NullDeref/base"]
+		if on == 0 || off == 0 {
+			t.Errorf("%s: condensation records lack edge counters (on=%d off=%d)", bench, on, off)
+			continue
+		}
+		if on >= off {
+			t.Errorf("%s: condensed path traversed %d edges >= base %d", bench, on, off)
+		}
+	}
+}
+
+// TestCompareBenchFile: regressions beyond tolerance warn; improvements
+// and new workloads do not.
+func TestCompareBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	file := BenchFile{
+		Schema: 1,
+		Baseline: &BenchSnapshot{Records: []BenchRecord{
+			{Name: "a", NsPerOp: 100, EdgesTraversed: 1000},
+			{Name: "b", NsPerOp: 100, EdgesTraversed: 1000},
+			{Name: "c", NsPerOp: 100, EdgesTraversed: 1000},
+		}},
+		Current: BenchSnapshot{Records: []BenchRecord{
+			{Name: "a", NsPerOp: 300, EdgesTraversed: 1000},  // ns regression
+			{Name: "b", NsPerOp: 100, EdgesTraversed: 5000},  // edges regression
+			{Name: "c", NsPerOp: 50, EdgesTraversed: 500},    // improvement
+			{Name: "new", NsPerOp: 9999, EdgesTraversed: 99}, // no baseline
+		}},
+	}
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	warnings, err := CompareBenchFile(&buf, path, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warnings != 2 {
+		t.Errorf("warnings = %d, want 2\n%s", warnings, buf.String())
+	}
+	if !strings.Contains(buf.String(), "WARNING a:") || !strings.Contains(buf.String(), "WARNING b:") {
+		t.Errorf("missing expected warnings:\n%s", buf.String())
+	}
+
+	// A baseline-less file compares cleanly.
+	file.Baseline = nil
+	out, _ = json.MarshalIndent(&file, "", "  ")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if warnings, err := CompareBenchFile(&buf, path, 0.2); err != nil || warnings != 0 {
+		t.Errorf("baseline-less compare: warnings=%d err=%v", warnings, err)
 	}
 }
 

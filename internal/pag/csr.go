@@ -77,6 +77,11 @@ func (g *Graph) Freeze() {
 	g.out, g.in = nil, nil
 	g.outSplit, g.inSplit = nil, nil
 	g.edgeSet = nil
+
+	// With the CSR layout in place, collapse assign SCCs into the
+	// condensed overlay (condense.go). Mutable graphs never get one, so
+	// incrementally edited PAGs stay on the exact per-node path.
+	g.cond = g.condense()
 }
 
 // Frozen reports whether the graph has been compacted to the CSR layout.

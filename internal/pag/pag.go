@@ -216,6 +216,10 @@ type Graph struct {
 	// frozen is the CSR form, non-nil after Freeze.
 	frozen *csr
 
+	// cond is the SCC-condensed overlay (see condense.go), built by
+	// Freeze alongside the CSR form; nil while the graph is mutable.
+	cond *Condensation
+
 	flags []nodeFlags
 
 	fields    []string

@@ -22,6 +22,16 @@
 // uses taint-tracked memoisation (results computed under an active cycle
 // are provisional and never cached as complete) plus an outer fixpoint
 // loop that re-evaluates the query until no memo entry grows.
+//
+// Condensation opt-out: REFINEPTS/NOREFINE deliberately ignore the
+// frozen graph's SCC-condensed overlay (pag/condense.go) and walk the
+// base adjacency. Their role is to reproduce Sridharan–Bodík's work
+// profile for the Table 2/4 comparisons, the refinement loop inspects
+// concrete (load, store) match edges whose endpoints must be original
+// nodes, and the memo keys ⟨node, context⟩ pairs that the fixpoint's
+// taint tracking reasons about per node — rep-mapping them would change
+// the measured engine, not just speed it up. DYNSUM is where the
+// condensation pays (internal/core).
 package refine
 
 import (

@@ -321,10 +321,19 @@ func (e *Engine) PointsTo(v pag.NodeID) (*core.PointsToSet, error) {
 
 // PointsToCtx answers a query using the precomputed summaries and the
 // shared Algorithm-4 driver.
+//
+// STASUM explicitly opts out of the SCC-condensed overlay (nil
+// condensation): its offline pass keys symbolic summaries by original
+// boundary nodes, and the Table 2 / Figure 5 comparisons require its work
+// counters to reflect Yan et al.'s algorithm, not DYNSUM's condensation
+// optimisation. (The same opt-out reasoning applies to REFINEPTS/NOREFINE
+// and the Andersen oracle, which never touch the driver: REFINEPTS's memo
+// is keyed by ⟨node, context⟩ pairs the paper's refinement loop inspects
+// per match edge, and Andersen mutates the graph pre-freeze.)
 func (e *Engine) PointsToCtx(v pag.NodeID, ctx intstack.ID) (*core.PointsToSet, error) {
 	e.metrics.Queries++
 	bud := core.NewBudget(e.cfg.Budget)
-	return core.RunDriver(e.g, e.ctxs, e.cfg, (*staSummarizer)(e), v, ctx, bud, &e.metrics, nil)
+	return core.RunDriver(e.g, nil, e.ctxs, e.cfg, (*staSummarizer)(e), v, ctx, bud, &e.metrics, nil)
 }
 
 type staSummarizer Engine
