@@ -16,12 +16,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dynsum/internal/harness"
 )
 
+// main delegates to realMain so every error path returns through the
+// deferred profile writers: os.Exit skips defers, which would leave a
+// truncated (unparseable) CPU profile and no heap profile exactly on the
+// runs one most wants to debug.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		table        = flag.Int("table", 0, "render one table (1-4)")
 		figure       = flag.Int("figure", 0, "render one figure (4 or 5)")
@@ -37,8 +47,45 @@ func main() {
 		benchJSON    = flag.String("bench-json", "", "measure the benchmark-trajectory workloads and write the snapshot to this JSON file (an existing baseline section in the file is preserved)")
 		benchCompare = flag.String("bench-compare", "", "compare a snapshot file's current section against its baseline and warn on regressions")
 		tolerance    = flag.Float64("tolerance", 0.2, "regression tolerance ratio for -bench-compare (0.2 = 20%)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+
+	// Profiling hooks so perf PRs can attach flame graphs: the CPU profile
+	// covers everything the invocation runs; the heap profile is snapshot
+	// at exit (with a GC first, so live-object numbers are accurate). Both
+	// flush on every return path, error exits included.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	opts := harness.Options{Scale: *scale, Seed: *seed, Budget: *budget, Batches: *batches}
 	if *benchCSV != "" {
@@ -47,44 +94,40 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := harness.WriteBenchJSONFile(*benchJSON, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Printf("wrote benchmark snapshot to %s\n", *benchJSON)
-		return
+		return 0
 	}
 	if *benchCompare != "" {
 		// Warnings are advisory (wall clock varies by machine); the exit
 		// code stays zero so CI surfaces rather than blocks.
 		if _, err := harness.CompareBenchFile(os.Stdout, *benchCompare, *tolerance); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	w := os.Stdout
 	if *asCSV {
-		check := func(err error) {
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-		}
+		var err error
 		switch {
 		case *table == 3:
-			check(harness.WriteTable3CSV(w, opts))
+			err = harness.WriteTable3CSV(w, opts)
 		case *table == 4:
-			check(harness.WriteTable4CSV(w, opts))
+			err = harness.WriteTable4CSV(w, opts)
 		case *figure == 4:
-			check(harness.WriteFigure4CSV(w, opts))
+			err = harness.WriteFigure4CSV(w, opts)
 		case *figure == 5:
-			check(harness.WriteFigure5CSV(w, opts))
+			err = harness.WriteFigure5CSV(w, opts)
 		default:
 			fmt.Fprintln(os.Stderr, "experiments: -csv needs -table 3|4 or -figure 4|5")
-			os.Exit(2)
+			return 2
 		}
-		return
+		if err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 	ran := false
 	run := func(id int, want int, f func()) {
@@ -114,6 +157,7 @@ func main() {
 	if !ran {
 		fmt.Fprintln(os.Stderr, "nothing selected: use -all, -table N or -figure N")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -19,6 +19,8 @@ import (
 	"text/tabwriter"
 
 	"dynsum/internal/benchgen"
+	"dynsum/internal/clients"
+	"dynsum/internal/core"
 	"dynsum/internal/mj"
 	"dynsum/internal/pag"
 )
@@ -59,18 +61,29 @@ func main() {
 		prog.G.NumCallSites(), len(prog.Casts), len(prog.Derefs), len(prog.Factories))
 }
 
-// benchStats renders the per-benchmark condensation table: every Table 3
-// profile plus the cyclic variants, generated at the given scale/seed.
+// benchStats renders the per-benchmark condensation and memoisation table:
+// every Table 3 profile plus the cyclic and diamond variants, generated at
+// the given scale/seed. The spliced/written-back columns come from running
+// the cold NullDeref batch on a DYNSUM engine: spliced counts cached
+// sub-summaries merged into in-flight traversals, written-back the fresh
+// cache entries those traversals inserted (start states included).
 func benchStats(scale float64, seed int64) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "benchmark\tsccs\tlargest\tnodes\treps\tnode-red%\tlocal-edges\tcondensed\tedge-red%")
-	all := append(append([]benchgen.Profile{}, benchgen.Profiles...), benchgen.CyclicProfiles...)
+	fmt.Fprintln(w, "benchmark\tsccs\tlargest\tnodes\treps\tnode-red%\tlocal-edges\tcondensed\tedge-red%\tspliced\twritten-back")
+	all := append(append(append([]benchgen.Profile{}, benchgen.Profiles...), benchgen.CyclicProfiles...), benchgen.DiamondProfiles...)
 	for _, p := range all {
 		prog := benchgen.Generate(p.Scaled(scale), seed)
 		s := prog.G.CondenseStats()
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.1f\t%d\t%d\t%.1f\n",
+		d := core.NewDynSum(prog.G, core.Config{}, nil)
+		if _, err := clients.Run("NullDeref", prog, d); err != nil {
+			fmt.Fprintln(os.Stderr, "pagstat:", err)
+			os.Exit(1)
+		}
+		m := d.Metrics().Snapshot()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.1f\t%d\t%d\t%.1f\t%d\t%d\n",
 			p.Name, s.SCCs, s.LargestSCC, s.Nodes, s.Reps, s.NodeReduction(),
-			s.LocalEdges, s.CondensedLocalEdges, s.LocalEdgeReduction())
+			s.LocalEdges, s.CondensedLocalEdges, s.LocalEdgeReduction(),
+			m.SplicedSummaries, m.WrittenBackSummaries)
 	}
 	w.Flush()
 }

@@ -163,3 +163,62 @@ func TestSummaryReuseOnGenerated(t *testing.T) {
 		t.Errorf("cache hit rate %.2f, want >= 0.3 (workload has no reuse)", hitRate)
 	}
 }
+
+// TestDiamondProfilesAreAcyclicAndOverlapping pins the shape the diamond
+// variants exist for: a valid, SCC-free graph (condensation has nothing to
+// collapse) whose NullDeref query sites lie densely on shared copy webs,
+// so their backwards closures overlap heavily.
+func TestDiamondProfilesAreAcyclicAndOverlapping(t *testing.T) {
+	if len(benchgen.DiamondProfiles) != 3 {
+		t.Fatalf("DiamondProfiles = %d, want 3", len(benchgen.DiamondProfiles))
+	}
+	for _, p := range benchgen.DiamondProfiles {
+		prog := benchgen.Generate(p.Scaled(0.01), 42)
+		if err := prog.G.Validate(); err != nil {
+			t.Fatalf("%s: invalid PAG: %v", p.Name, err)
+		}
+		s := prog.G.CondenseStats()
+		if s.SCCs != 0 {
+			t.Errorf("%s: %d assign SCCs in a diamond profile, want 0 (largest %d)",
+				p.Name, s.SCCs, s.LargestSCC)
+		}
+		if len(prog.Derefs) == 0 {
+			t.Fatalf("%s: no deref sites", p.Name)
+		}
+		// Overlap proxy: distinct deref variables per method must exceed
+		// one on average — many sites share one method-wide copy DAG.
+		perMethod := map[pag.MethodID]int{}
+		seen := map[pag.NodeID]bool{}
+		for _, d := range prog.Derefs {
+			if seen[d.Var] {
+				continue
+			}
+			seen[d.Var] = true
+			perMethod[prog.G.Node(d.Var).Method]++
+		}
+		shared := 0
+		for _, n := range perMethod {
+			if n >= 2 {
+				shared += n
+			}
+		}
+		if shared*2 < len(seen) {
+			t.Errorf("%s: only %d of %d distinct deref sites share a method's web",
+				p.Name, shared, len(seen))
+		}
+	}
+}
+
+// TestDiamondGenerationDeterministic: same profile and seed, same program.
+func TestDiamondGenerationDeterministic(t *testing.T) {
+	p := benchgen.ProfileByNameMust("soot-c-diamond").Scaled(0.005)
+	a := benchgen.Generate(p, 9)
+	b := benchgen.Generate(p, 9)
+	if a.G.NumNodes() != b.G.NumNodes() || a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatalf("nondeterministic generation: %d/%d nodes, %d/%d edges",
+			a.G.NumNodes(), b.G.NumNodes(), a.G.NumEdges(), b.G.NumEdges())
+	}
+	if len(a.Derefs) != len(b.Derefs) {
+		t.Fatalf("nondeterministic deref sites: %d vs %d", len(a.Derefs), len(b.Derefs))
+	}
+}

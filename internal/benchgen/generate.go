@@ -324,6 +324,21 @@ func (g *genState) buildCells() {
 	if perCell := g.left.assign / cellsEstimate; chainLen > perCell {
 		chainLen = max(1, perCell)
 	}
+	// A diamond step spends 3 variables and 4 assigns where a plain copy
+	// spends 1 and 1; shorten the chains so the per-cell budgets still
+	// cover them (steps degrade to plain copies once the assign budget
+	// runs low, so a generous length costs nothing).
+	if g.p.Diamond {
+		chainLen = max(4, chainLen/2)
+	}
+	// Diamond profiles concentrate runs of consecutive cells in one app
+	// method instead of round-robining: together with the loop-carried
+	// links below, each method accumulates one deep shared copy DAG whose
+	// query sites' closures nest — the overlap the memoisation exploits.
+	appOf := func(cell int) int { return cell % nApps }
+	if g.p.Diamond {
+		appOf = func(cell int) int { return (cell / 8) % nApps }
+	}
 	// Cyclic profiles model each app method as one big loop over its
 	// cells: every cell's payload chain is linked to the previous cell's
 	// tail (a loop-carried dependence), and the last tail closes back to
@@ -333,6 +348,7 @@ func (g *genState) buildCells() {
 	// collapse exists for.
 	type loopState struct{ head, tail pag.NodeID }
 	loops := make([]loopState, nApps)
+	var chainDerefs []pag.DerefSite // per-cell buffer for deepest-first emission
 	for i := range loops {
 		loops[i] = loopState{head: pag.NoNode, tail: pag.NoNode}
 	}
@@ -360,7 +376,7 @@ func (g *genState) buildCells() {
 		if g.rng.Intn(5) == 0 {
 			pcls = g.payloads[g.rng.Intn(len(g.payloads))]
 		}
-		m := apps[cell%len(apps)]
+		m := apps[appOf(cell)]
 
 		cv := g.local(m, "c", c.cls)
 		g.b.NewObject(cv, "oc", c.cls)
@@ -380,7 +396,7 @@ func (g *genState) buildCells() {
 		segHead := pv // head of the chain's final hop-free local segment
 		g.segReset()
 		g.segPush(t)
-		sink := hopSinks[cell%len(hopSinks)]
+		sink := hopSinks[appOf(cell)]
 		for i := 0; i < chainLen && g.left.assign > 0 && g.left.vars > 0; i++ {
 			nt := g.local(m, fmt.Sprintf("t%d", i), pcls)
 			if i < callHops && g.left.entry > 0 && g.left.exit > 0 {
@@ -389,6 +405,18 @@ func (g *genState) buildCells() {
 				g.left.exit--
 				g.segReset()
 				segHead = nt
+			} else if g.p.Diamond && g.left.assign >= 4 && g.left.vars >= 2 {
+				// Diamond step: t forks into two parallel copies that
+				// rejoin at nt, so nt has two incoming assign paths and a
+				// backwards (S1) traversal re-converges at t. No cycle is
+				// formed — both paths point strictly upstream.
+				da := g.local(m, fmt.Sprintf("da%d", i), pcls)
+				db := g.local(m, fmt.Sprintf("db%d", i), pcls)
+				g.b.Copy(da, t)
+				g.b.Copy(db, t)
+				g.b.Copy(nt, da)
+				g.b.Copy(nt, db)
+				g.left.assign -= 4
 			} else {
 				g.b.Copy(nt, t)
 				g.left.assign--
@@ -396,18 +424,39 @@ func (g *genState) buildCells() {
 				g.closeCycle()
 			}
 			t = nt
-			if i == chainLen/3 || i == 2*chainLen/3 {
+			// Diamond profiles register a dereference every other step, so
+			// the NullDeref batch queries many points of the same web and
+			// the per-state memoisation has overlap to exploit; the base
+			// profiles keep the paper-calibrated two sites per chain.
+			if g.p.Diamond {
+				if i%2 == 1 {
+					chainDerefs = append(chainDerefs, pag.DerefSite{Var: nt, Name: fmt.Sprintf("cell%d.t%d.use", cell, i)})
+				}
+			} else if i == chainLen/3 || i == 2*chainLen/3 {
 				g.derefs = append(g.derefs, pag.DerefSite{Var: nt, Name: fmt.Sprintf("cell%d.t%d.use", cell, i)})
 			}
 		}
+		// Emit the cell's chain sites deepest-first: an IDE batch is not
+		// topologically sorted, and the order is what separates the two
+		// memoisation halves — the first (deepest) query walks the whole
+		// prefix and writes every interior state back, so the cell's
+		// remaining sites are pure cache hits; in upstream-first order
+		// start-state caching alone could serve them via splices.
+		for i := len(chainDerefs) - 1; i >= 0; i-- {
+			g.derefs = append(g.derefs, chainDerefs[i])
+		}
+		chainDerefs = chainDerefs[:0]
 
 		// Loop-carried dependence: this iteration's payload also derives
-		// from the previous iteration's result (cyclic profiles only).
-		// The link lands on the head of the chain's final local segment —
-		// never before a call hop — so the method-wide cycle is closed by
-		// assign edges alone and stays a legal local SCC.
-		if g.p.CycleLen > 0 && g.left.assign > 0 {
-			appIdx := cell % len(apps)
+		// from the previous iteration's result (cyclic and diamond
+		// profiles). The link lands on the head of the chain's final local
+		// segment — never before a call hop — so for cyclic profiles the
+		// method-wide cycle is closed by assign edges alone and stays a
+		// legal local SCC. Diamond profiles thread the same links but
+		// never close the loop (see below), leaving one method-wide copy
+		// DAG whose downstream closures contain all upstream ones.
+		if (g.p.CycleLen > 0 || g.p.Diamond) && g.left.assign > 0 {
+			appIdx := appOf(cell)
 			if ls := &loops[appIdx]; ls.head == pag.NoNode {
 				ls.head, ls.tail = segHead, t
 			} else {
@@ -485,11 +534,14 @@ func (g *genState) buildCells() {
 
 	// Close each app method's loop: the last iteration's payload feeds the
 	// first (deterministic slice order; see the loop-carried dependence
-	// above).
-	for _, ls := range loops {
-		if ls.head != pag.NoNode && ls.tail != ls.head && g.left.assign > 0 {
-			g.b.Copy(ls.head, ls.tail)
-			g.left.assign--
+	// above). Diamond profiles leave the loop open — the whole point is a
+	// deep acyclic DAG that condensation cannot collapse.
+	if !g.p.Diamond {
+		for _, ls := range loops {
+			if ls.head != pag.NoNode && ls.tail != ls.head && g.left.assign > 0 {
+				g.b.Copy(ls.head, ls.tail)
+				g.left.assign--
+			}
 		}
 	}
 }

@@ -42,6 +42,18 @@ type Profile struct {
 	// (acyclic chains); the CyclicProfiles variants exercise the
 	// freeze-time SCC condensation.
 	CycleLen int
+
+	// Diamond, when set, replaces the linear payload chains with
+	// diamond-shaped copy webs (each step forks into two parallel copies
+	// that rejoin) and threads every app method's cells into one
+	// method-wide copy DAG: cell k's chain head derives from cell k-1's
+	// tail, but the loop is never closed, so the flow stays acyclic and
+	// condensation finds nothing to collapse. Query closures then overlap
+	// heavily — a query on cell k re-walks the sub-closures of cells
+	// 0..k-1 — which is the workload the PPTA memoisation (per-state
+	// splice-in/write-back) exists for. Diamond edges are paid from the
+	// Assign budget; edge totals and locality are unchanged.
+	Diamond bool
 }
 
 // Profiles lists the paper's nine benchmarks (Table 3). The G (global
@@ -100,8 +112,33 @@ func makeCyclicProfiles() []Profile {
 	return out
 }
 
+// DiamondProfiles are DAG-heavy variants of three Table 3 rows: identical
+// budgets, but the payload chains become diamond copy webs linked across
+// cells into one method-wide acyclic flow (see Profile.Diamond). They are
+// the stress corpus for the PPTA memoisation: closures of the per-cell
+// query sites overlap almost completely without forming a single SCC, so
+// condensation is inert and all the reuse must come from per-state
+// splice-in/write-back.
+var DiamondProfiles = makeDiamondProfiles()
+
+func makeDiamondProfiles() []Profile {
+	var out []Profile
+	for _, name := range []string{"soot-c", "bloat", "xalan"} {
+		// Search Profiles directly: ProfileByName also reads
+		// DiamondProfiles, which this function initialises.
+		for _, p := range Profiles {
+			if p.Name == name {
+				p.Name += "-diamond"
+				p.Diamond = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
 // ProfileByName returns the named profile, searching the Table 3 rows and
-// the cyclic variants.
+// the cyclic and diamond variants.
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles {
 		if p.Name == name {
@@ -109,6 +146,11 @@ func ProfileByName(name string) (Profile, bool) {
 		}
 	}
 	for _, p := range CyclicProfiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range DiamondProfiles {
 		if p.Name == name {
 			return p, true
 		}
@@ -170,5 +212,6 @@ func (p Profile) Scaled(f float64) Profile {
 		Entry: s(p.Entry), Exit: s(p.Exit), AssignGlobal: s(p.AssignGlobal),
 		QSafeCast: s(p.QSafeCast), QNullDeref: s(p.QNullDeref), QFactoryM: s(p.QFactoryM),
 		CycleLen: p.CycleLen, // structural, not scaled
+		Diamond:  p.Diamond,
 	}
 }

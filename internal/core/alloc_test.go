@@ -77,12 +77,16 @@ func TestWarmPointsToAllocatesOnlyTheResult(t *testing.T) {
 // TestColdQueryAllocationBound documents the cold-path bill: with the
 // summary cache emptied before every run (buckets retained), a Figure 2
 // query recomputes its PPTA summaries and re-caches them. The only
-// allocations are the exactly-sized summary slices and their cache
-// entries — bounded, and independent of traversal length.
+// allocations are the exactly-sized summary slices and their cache (and
+// method-index) entries — proportional to the distinct summaries written
+// back, independent of traversal length. The memoised engine caches every
+// visited state, not just each traversal's start, so the bound is a bit
+// above the pre-memoisation 64: the extra entries are precisely what makes
+// the next query on any visited state allocation-free.
 func TestColdQueryAllocationBound(t *testing.T) {
 	d, f := warmFigure2(t)
 	dst := core.NewPointsToSet()
-	const coldAllocBound = 64
+	const coldAllocBound = 96
 	allocs := testing.AllocsPerRun(100, func() {
 		d.ResetCache()
 		if err := d.PointsToCtxInto(dst, f.S2, intstack.Empty); err != nil {

@@ -38,10 +38,35 @@ type Config struct {
 	MaxFieldDepth int
 	// MaxCtxDepth caps the context stack (pending unmatched call edges).
 	MaxCtxDepth int
+
+	// WriteBackDepth bounds which intermediate PPTA states the memoised
+	// traversal writes back to the summary cache: a state is cached only
+	// if its field stack is at most this deep. Deep-stack states are the
+	// long tail of field-heavy workloads — numerous, rarely revisited, and
+	// each pinning a result slice for the engine's lifetime — so bounding
+	// the depth bounds cache memory without touching the common shallow
+	// states where the reuse lives. The query's start state is always
+	// cached regardless. 0 means the default (8); negative writes back
+	// only start states (the pre-memoisation behaviour).
+	WriteBackDepth int
+	// MaxWriteBacks caps how many intermediate states one PPTA run may
+	// write back (the start state is exempt), bounding the cache growth a
+	// single giant cold traversal can cause. 0 means the default (4096);
+	// negative writes back only start states.
+	MaxWriteBacks int
 }
 
+// Write-back heuristic defaults: shallow field stacks cover the states
+// batches actually revisit, and 4096 write-backs per query is far above
+// any closure the synthetic suite produces while still bounding a
+// pathological traversal.
+const (
+	DefaultWriteBackDepth = 8
+	DefaultMaxWriteBacks  = 4096
+)
+
 // WithDefaults returns c with zero fields replaced by the defaults
-// (budget 75,000; both depth caps 64).
+// (budget 75,000; both depth caps 64; write-back depth 8, cap 4096).
 func (c Config) WithDefaults() Config {
 	if c.Budget == 0 {
 		c.Budget = DefaultBudget
@@ -51,6 +76,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MaxCtxDepth == 0 {
 		c.MaxCtxDepth = 64
+	}
+	if c.WriteBackDepth == 0 {
+		c.WriteBackDepth = DefaultWriteBackDepth
+	}
+	if c.MaxWriteBacks == 0 {
+		c.MaxWriteBacks = DefaultMaxWriteBacks
 	}
 	return c
 }
@@ -136,9 +167,19 @@ type Metrics struct {
 	PPTAVisits     int64 // states visited inside PPTA computations
 	CacheHits      int64 // summary cache hits (DYNSUM) / memo hits (REFINEPTS)
 	CacheMisses    int64 // summary cache misses
-	Summaries      int64 // summaries computed (DYNSUM cache entries / STASUM total)
+	Summaries      int64 // summaries computed (DYNSUM PPTA runs / STASUM total)
 	RefineIters    int64 // refinement-loop iterations (REFINEPTS)
 	MatchEdges     int64 // match-edge shortcuts taken (REFINEPTS)
+
+	// SplicedSummaries counts cached sub-summaries merged directly into an
+	// in-flight PPTA traversal instead of being re-expanded (DYNSUM's
+	// memoised closure, splice-in half).
+	SplicedSummaries int64
+	// WrittenBackSummaries counts the fresh cache entries completed PPTA
+	// traversals inserted (write-back half): every member state of every
+	// completed component that passed the heuristic, the traversal's own
+	// start state included — so each cold run contributes at least one.
+	WrittenBackSummaries int64
 }
 
 // Snapshot returns an atomically-read copy of m, safe to take while
@@ -159,6 +200,9 @@ func (m *Metrics) Snapshot() Metrics {
 		Summaries:      atomic.LoadInt64(&m.Summaries),
 		RefineIters:    atomic.LoadInt64(&m.RefineIters),
 		MatchEdges:     atomic.LoadInt64(&m.MatchEdges),
+
+		SplicedSummaries:     atomic.LoadInt64(&m.SplicedSummaries),
+		WrittenBackSummaries: atomic.LoadInt64(&m.WrittenBackSummaries),
 	}
 }
 
@@ -174,15 +218,18 @@ func (m *Metrics) Add(other Metrics) {
 	m.Summaries += other.Summaries
 	m.RefineIters += other.RefineIters
 	m.MatchEdges += other.MatchEdges
+	m.SplicedSummaries += other.SplicedSummaries
+	m.WrittenBackSummaries += other.WrittenBackSummaries
 }
 
 // String uses plain reads so it is safe on by-value copies regardless of
 // alignment; render a live concurrent engine via Metrics().Snapshot()
 // first.
 func (m *Metrics) String() string {
-	return fmt.Sprintf("queries=%d failed=%d edges=%d tuples=%d ppta=%d hits=%d misses=%d summaries=%d refines=%d matches=%d",
+	return fmt.Sprintf("queries=%d failed=%d edges=%d tuples=%d ppta=%d hits=%d misses=%d summaries=%d refines=%d matches=%d spliced=%d writtenback=%d",
 		m.Queries, m.Failed, m.EdgesTraversed, m.TuplesVisited, m.PPTAVisits,
-		m.CacheHits, m.CacheMisses, m.Summaries, m.RefineIters, m.MatchEdges)
+		m.CacheHits, m.CacheMisses, m.Summaries, m.RefineIters, m.MatchEdges,
+		m.SplicedSummaries, m.WrittenBackSummaries)
 }
 
 // HeapCtx is a context-sensitive abstract object: an allocation site

@@ -138,11 +138,12 @@ func (d *DynSum) ResetCache() { d.cache.clear() }
 // (the paper motivates DYNSUM with exactly this "program undergoing many
 // edits" scenario, §1 and §7). Summary keys are SCC representatives on
 // condensed graphs, but assign SCCs never cross methods, so the
-// representative's method is the summary's method.
+// representative's method is the summary's method. The cache keeps a
+// per-method key index filled at insert time, so this walks only the
+// edited method's entries — O(method), not O(cache) — which matters now
+// that write-backs grow the cache to many entries per method.
 func (d *DynSum) InvalidateMethod(m pag.MethodID) int {
-	return d.cache.deleteIf(func(k pptaState) bool {
-		return d.g.Node(k.node).Method == m
-	})
+	return d.cache.deleteMethod(m)
 }
 
 // PointsTo implements Analysis: the points-to set of v under the empty
@@ -211,6 +212,14 @@ func (ds *dynSummarizer) SliceFields(fs intstack.ID) []intstack.Sym {
 // read-only views of the immutable cached result — no conversion, no
 // allocation.
 //
+// On a miss with the cache live, the memoised traversal runs: it splices
+// cached sub-summaries into the closure instead of re-expanding their
+// states, and on success its queued per-state write-backs are committed as
+// one batch — so a single cold query warms the cache for every state it
+// visited, not just its own start. With DisableCache both halves are
+// bypassed and the flat single-result traversal runs instead (nothing
+// read, nothing written).
+//
 // On a condensed graph the state is rep-mapped first, so the cache is
 // keyed by SCC representatives: every member of an assign cycle hits the
 // one shared entry. (The driver already propagates representatives; the
@@ -226,14 +235,25 @@ func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *
 		return Summary{Frontier: sc.Identity(n, fs, st)}, false, nil
 	}
 	key := pptaState{node: n, fs: fs, st: st}
-	if !d.DisableCache {
-		if r, ok := d.cache.get(key); ok {
-			atomic.AddInt64(&d.metrics.CacheHits, 1)
-			return r.summary(), true, nil
+
+	if d.DisableCache {
+		r, err := runPPTA(gv, d.fields, key, d.cfg, bud, &d.metrics, sc)
+		if err != nil {
+			return Summary{}, false, err
 		}
-		atomic.AddInt64(&d.metrics.CacheMisses, 1)
+		atomic.AddInt64(&d.metrics.Summaries, 1)
+		if d.Tracer != nil {
+			d.Tracer(TraceEvent{Node: n, Fields: d.fields.Slice(fs), State: st, Kind: "ppta"})
+		}
+		return r.summary(), false, nil
 	}
-	r, err := runPPTA(gv, d.fields, key, d.cfg, bud, &d.metrics, sc)
+
+	if r, ok := d.cache.get(key); ok {
+		atomic.AddInt64(&d.metrics.CacheHits, 1)
+		return r.summary(), true, nil
+	}
+	atomic.AddInt64(&d.metrics.CacheMisses, 1)
+	sum, err := runPPTAMemo(gv, d.fields, d.cache, key, d.cfg, bud, sc)
 	if err != nil {
 		return Summary{}, false, err
 	}
@@ -241,14 +261,85 @@ func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *
 	if d.Tracer != nil {
 		d.Tracer(TraceEvent{Node: n, Fields: d.fields.Slice(fs), State: st, Kind: "ppta"})
 	}
-	if !d.DisableCache {
-		// Hash-consing starts once the cache is big enough for the
-		// memory win to pay for the table (see internMinSummaries).
-		if computed > internMinSummaries {
-			r.objs = d.intern.objects(r.objs)
-			r.frontier = d.intern.frontiers(r.frontier)
-		}
-		d.cache.put(key, r)
+	d.commitWriteBacks(sc, computed)
+	return sum, false, nil
+}
+
+// commitWriteBacks materialises and batch-inserts the per-state summaries
+// a successful memoised traversal queued in sc. Called only after the
+// whole traversal completed, so every committed entry is a complete
+// closure; an aborted traversal never reaches here (its pending queue was
+// discarded).
+//
+// Materialisation is block-allocated: one pptaResult block plus one object
+// and one frontier backing array cover the entire run's distinct results,
+// instead of two slices and a struct per result — a PPTA run stays inside
+// one method (local edges never leave it), so the block's lifetime aligns
+// with per-method invalidation and the co-location makes warm readers'
+// cache lines denser.
+func (d *DynSum) commitWriteBacks(sc *Scratch, computed int64) {
+	if len(sc.pendKeys) == 0 {
+		return
 	}
-	return r.summary(), false, nil
+	// Size the blocks: runs of equal indices in pendRIdx are one SCC.
+	distinct, totalObjs, totalFrs := 0, 0, 0
+	prev := int32(-1)
+	for _, r := range sc.pendRIdx {
+		if r == prev {
+			continue
+		}
+		prev = r
+		distinct++
+		objs, frs := sc.resultViews(r)
+		totalObjs += len(objs)
+		totalFrs += len(frs)
+	}
+	block := make([]pptaResult, distinct)
+	var objArena []pag.NodeID
+	if totalObjs > 0 {
+		objArena = make([]pag.NodeID, 0, totalObjs)
+	}
+	var frArena []FrontierState
+	if totalFrs > 0 {
+		frArena = make([]FrontierState, 0, totalFrs)
+	}
+	// Hash-consing starts once the cache is big enough for the memory win
+	// to pay for the table (see internMinSummaries).
+	intern := computed > internMinSummaries
+
+	sc.pendMeth = sc.pendMeth[:0]
+	sc.pendRes = sc.pendRes[:0]
+	prev = -1
+	var cur *pptaResult
+	bi := 0
+	for i, r := range sc.pendRIdx {
+		if r != prev {
+			prev = r
+			objs, frs := sc.resultViews(r)
+			cur = &block[bi]
+			bi++
+			if len(objs) > 0 {
+				off := len(objArena)
+				objArena = append(objArena, objs...)
+				cur.objs = objArena[off:len(objArena):len(objArena)]
+			}
+			if len(frs) > 0 {
+				off := len(frArena)
+				frArena = append(frArena, frs...)
+				cur.frontier = frArena[off:len(frArena):len(frArena)]
+			}
+			if intern {
+				cur.objs = d.intern.objects(cur.objs)
+				cur.frontier = d.intern.frontiers(cur.frontier)
+			}
+		}
+		sc.pendMeth = append(sc.pendMeth, d.g.Node(sc.pendKeys[i].node).Method)
+		sc.pendRes = append(sc.pendRes, cur)
+	}
+	sc.written += int64(d.cache.putBatch(sc.pendKeys, sc.pendMeth, sc.pendRes))
+	clear(sc.pendRes) // committed results live in the cache; don't pin them from the pool
+	sc.pendKeys = sc.pendKeys[:0]
+	sc.pendRIdx = sc.pendRIdx[:0]
+	sc.pendMeth = sc.pendMeth[:0]
+	sc.pendRes = sc.pendRes[:0]
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"dynsum/internal/core"
@@ -294,5 +295,160 @@ func TestConfigDefaults(t *testing.T) {
 	c2 := core.Config{Budget: 7}.WithDefaults()
 	if c2.Budget != 7 {
 		t.Error("explicit budget overridden")
+	}
+}
+
+// abortFixture builds a frozen program with, in one method, a benign short
+// assign chain (the warm-up query) and a victim variable whose closure
+// blows the configured limit: a 60-variable assign chain for the budget
+// case, or an x = x.f load loop for the depth case. The victim also has a
+// small side branch inserted before the heavy edges, so a memoised
+// traversal completes (and queues write-backs for) some SCCs before it
+// aborts — exercising the pending-discard path, not just the empty queue.
+func abortFixture(t *testing.T, depth bool) (g *pag.Graph, warmVar, victim pag.NodeID) {
+	t.Helper()
+	b := pag.NewBuilder()
+	cls := b.Class("A", pag.NoClass)
+	m := b.Method("A.m", cls)
+
+	// Warm-up: w2 <- w1 <- new (3 edges; succeeds under every config below).
+	w1 := b.Local(m, "w1", cls)
+	b.NewObject(w1, "ow", cls)
+	w2 := b.Local(m, "w2", cls)
+	b.Copy(w2, w1)
+
+	victim = b.Local(m, "v", cls)
+	// Side branch first: v <- s1 <- new.
+	s1 := b.Local(m, "s1", cls)
+	b.NewObject(s1, "os", cls)
+	b.Copy(victim, s1)
+
+	if depth {
+		// x = x.f self-loop reached from v: unbounded field stack.
+		fld := b.G.AddField("A.f")
+		x := b.Local(m, "x", cls)
+		b.NewObject(x, "ox", cls)
+		b.Load(x, x, fld)
+		b.Load(victim, x, fld)
+	} else {
+		// Long chain: v <- c59 <- ... <- c0 <- new.
+		prev := b.Local(m, "c0", cls)
+		b.NewObject(prev, "oc", cls)
+		for i := 1; i < 60; i++ {
+			c := b.Local(m, fmt.Sprintf("c%d", i), cls)
+			b.Copy(c, prev)
+			prev = c
+		}
+		b.Copy(victim, prev)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, w2, victim
+}
+
+// TestAbortLeavesCacheByteIdentical is the rollback guarantee: a PPTA
+// aborted by ErrBudget or ErrDepth must leave the summary cache exactly as
+// it was before the query — no partial closures, whatever the engine mode.
+// The memoised path buffers per-state write-backs until a traversal
+// completes (an abort discards the buffer); the DisableCache path never
+// writes at all. Both are covered, on the condensed and base adjacencies.
+func TestAbortLeavesCacheByteIdentical(t *testing.T) {
+	cases := []struct {
+		name         string
+		depth        bool // depth fixture vs budget fixture
+		disableCache bool
+		disableCond  bool
+		wantErr      error
+	}{
+		{"budget/memo/condensed", false, false, false, core.ErrBudget},
+		{"budget/memo/base", false, false, true, core.ErrBudget},
+		{"budget/nocache/condensed", false, true, false, core.ErrBudget},
+		{"budget/nocache/base", false, true, true, core.ErrBudget},
+		{"depth/memo/condensed", true, false, false, core.ErrDepth},
+		{"depth/memo/base", true, false, true, core.ErrDepth},
+		{"depth/nocache/condensed", true, true, false, core.ErrDepth},
+		{"depth/nocache/base", true, true, true, core.ErrDepth},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, warmVar, victim := abortFixture(t, tc.depth)
+			cfg := core.Config{Budget: 40}
+			if tc.depth {
+				cfg = core.Config{MaxFieldDepth: 8}
+			}
+			d := core.NewDynSum(g, cfg, nil)
+			d.DisableCache = tc.disableCache
+			d.DisableCondense = tc.disableCond
+
+			if _, err := d.PointsTo(warmVar); err != nil {
+				t.Fatalf("warm-up query failed: %v", err)
+			}
+			before := core.CacheDump(d)
+			if !tc.disableCache && len(before) == 0 {
+				t.Fatal("warm-up cached nothing; the rollback assertion would be vacuous")
+			}
+
+			_, err := d.PointsTo(victim)
+			if tc.depth {
+				// The load self-loop may exhaust either limiter first
+				// depending on adjacency order; both are conservative.
+				if !errors.Is(err, core.ErrDepth) && !errors.Is(err, core.ErrBudget) {
+					t.Fatalf("err = %v, want depth/budget error", err)
+				}
+			} else if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+
+			after := core.CacheDump(d)
+			if len(before) != len(after) {
+				t.Fatalf("aborted query changed cache size: %d -> %d entries\nbefore: %v\nafter: %v",
+					len(before), len(after), before, after)
+			}
+			for i := range before {
+				if before[i] != after[i] {
+					t.Errorf("cache entry %d changed:\nbefore: %s\nafter:  %s", i, before[i], after[i])
+				}
+			}
+		})
+	}
+}
+
+// TestInvalidateMethodUsesIndex pins the index bookkeeping: invalidating a
+// method drops exactly its entries (write-backs included), leaves other
+// methods' summaries untouched, and shrinks the index accordingly, so
+// repeated edit/invalidate cycles cannot leak index memory.
+func TestInvalidateMethodUsesIndex(t *testing.T) {
+	f := fixture.BuildFigure2()
+	f.Prog.G.Freeze()
+	d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	for _, q := range []pag.NodeID{f.S1, f.S2} {
+		if _, err := d.PointsTo(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := d.SummaryCount()
+	if got := core.MethodIndexSize(d); got < total {
+		t.Fatalf("method index holds %d keys, cache %d entries", got, total)
+	}
+	m := f.Prog.G.Node(f.TAdd).Method
+	dropped := d.InvalidateMethod(m)
+	if dropped == 0 {
+		t.Fatal("invalidation dropped nothing")
+	}
+	if got := d.SummaryCount(); got != total-dropped {
+		t.Errorf("SummaryCount = %d, want %d", got, total-dropped)
+	}
+	if d.InvalidateMethod(m) != 0 {
+		t.Error("second invalidation of the same method dropped entries")
+	}
+	// Re-warming repopulates both cache and index; answers stay correct.
+	pts, err := d.PointsTo(f.S1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts.HasObject(f.O26) {
+		t.Errorf("post-invalidation pts(s1) = %v", pts.FormatObjects(f.Prog.G))
 	}
 }

@@ -23,12 +23,36 @@ import (
 // reusable under every context — the paper's central observation — and is
 // cached by the driver keyed on the full start state.
 //
+// Two implementations share the transition rules below:
+//
+//   - runPPTA, the flat worklist closure, used when the summary cache is
+//     disabled: one visited set, one result, nothing cached.
+//   - runPPTAMemo, the memoised closure used whenever the cache is live.
+//     It runs an iterative Tarjan-style DFS over the PPTA state graph so
+//     that (a) before expanding a state it probes the summary cache and,
+//     on a hit, splices the cached objects and frontier into the result
+//     instead of re-walking the state's sub-closure, and (b) when a
+//     strongly-connected component of states completes, the exact
+//     objects+frontier reachable from it are materialised and queued for
+//     write-back into the cache under every member state. One cold query
+//     thereby warms the cache for its entire footprint — the move
+//     demand-driven CFL engines make when they cache reachability at every
+//     node visited, not just the query root — and the next query touching
+//     any of those states splices instead of traversing.
+//
+// Soundness of both halves: a cached entry is only ever the complete
+// closure of its state (write-back happens at SCC completion, when every
+// successor of every member has itself completed, and a budget or depth
+// abort discards all pending write-backs), so splicing a hit is
+// observationally identical to expanding the state. Per-state results are
+// deduplicated sets; the flat path may carry duplicates, the driver
+// deduplicates on consumption either way.
+//
 // The loops iterate the partitioned adjacency accessors (LocalIn/LocalOut)
-// so only local edges are ever touched — the kind filter the mixed
-// adjacency needed is gone — and all transient state (visited table keyed
-// by a dense uint64 encoding, work stack, result buffers) lives in the
-// query's Scratch; only the final, exactly-sized result slices destined
-// for the summary cache are allocated.
+// so only local edges are ever touched, and all transient state (visited
+// tables keyed by dense uint64 encodings, DFS stacks, arenas) lives in the
+// query's Scratch; only final result slices destined for the summary cache
+// are heap-allocated.
 //
 // Transition rules (value-flow edge orientation; derived from the paper's
 // listings and validated step-by-step against the Table 1 trace — see
@@ -67,11 +91,84 @@ func (r *pptaResult) summary() Summary {
 	return Summary{Objects: r.objs, Frontier: r.frontier}
 }
 
+// memoState is one discovered state of the memoised traversal. Its index
+// in Scratch.mstates is its Tarjan discovery number. result is -1 while
+// the state is open (on the component stack) and the index of its SCC's
+// memoResult once the component completes; splice records (cache hits) are
+// born completed and never enter the DFS.
+type memoState struct {
+	st       pptaState
+	low      int32 // Tarjan lowlink (discovery numbers)
+	result   int32 // -1 open; >=0 completed result index
+	succOff  int32 // successor tuples: Scratch.msucc[succOff:succOff+succLen]
+	succLen  int32
+	ownOff   int32 // own-emitted objects: Scratch.mOwnObj[ownOff:ownOff+ownLen]
+	ownLen   int32
+	frontier bool // the state itself is a frontier exit point
+}
+
+// memoResult is one completed closure: either a direct reference to a
+// cached result (splice records) or ranges into the Scratch result arenas.
+type memoResult struct {
+	cached         *pptaResult
+	objOff, objLen int32
+	frOff, frLen   int32
+}
+
+// memoFrame is one DFS stack entry: a state index and the position of the
+// next unprocessed successor.
+type memoFrame struct {
+	idx int32
+	pos int32
+}
+
+// dropMemoRefs zeroes the cache-result pointers the traversal parked in
+// its splice records, so the pooled Scratch cannot keep another engine's
+// (or a since-cleared cache's) summaries alive. Called at the end of every
+// memoised run — the returned Summary views the arenas, never these
+// records, so the driver's consumption window is unaffected. (Zeroing at
+// pool return instead would memset full buffer capacities on every warm
+// query; here it touches only the records this run wrote.) The pending
+// write-back pointers are dropped separately: by discardPending on abort,
+// by commitWriteBacks after a successful commit.
+func (sc *Scratch) dropMemoRefs() {
+	for i := range sc.mres {
+		sc.mres[i].cached = nil
+	}
+}
+
+// discardPending throws away the queued write-backs (budget/depth abort:
+// partial closures must never reach the cache). The queue holds only
+// state keys and result indices — nothing was materialised yet.
+func (sc *Scratch) discardPending() {
+	sc.pendKeys = sc.pendKeys[:0]
+	sc.pendRIdx = sc.pendRIdx[:0]
+}
+
+// fkey is the dense encoding of a FrontierState, matching pkey's layout.
+func fkey(f FrontierState) uint64 {
+	return uint64(uint32(f.Node))<<32 | uint64(uint32(f.Fs))<<1 | uint64(f.St)
+}
+
+// resultViews resolves result record r into its object and frontier
+// slices. Arena-backed views are resolved against the current arena, so
+// they remain correct across arena growth; they are read-only and valid
+// until the Scratch is reset.
+func (sc *Scratch) resultViews(r int32) ([]pag.NodeID, []FrontierState) {
+	mr := &sc.mres[r]
+	if mr.cached != nil {
+		return mr.cached.objs, mr.cached.frontier
+	}
+	return sc.mResObj[mr.objOff : mr.objOff+mr.objLen],
+		sc.mResFr[mr.frOff : mr.frOff+mr.frLen]
+}
+
 // runPPTA computes DSPOINTSTO(start) with an explicit work stack inside
-// sc. Visits and edge traversals are charged to bud; depth overflow and
-// budget exhaustion abort the whole query (the result must not be cached
-// then). The returned result is freshly allocated at exactly the needed
-// size, ready for the shared summary cache.
+// sc — the flat, cache-oblivious closure, used when summary caching is
+// disabled (and serving as the executable oracle the memoised path is
+// equivalence-tested against). Visits and edge traversals are charged to
+// bud; depth overflow and budget exhaustion abort the whole query. The
+// returned result is freshly allocated at exactly the needed size.
 //
 // With a condensed view (gv.cond != nil) start.node must be an SCC
 // representative and the traversal stays on representatives: condensed
@@ -178,4 +275,265 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 		res.frontier = append(make([]FrontierState, 0, len(sc.frBuf)), sc.frBuf...)
 	}
 	return res, nil
+}
+
+// memoExpand discovers state s: it charges and records s's outgoing local
+// transitions into the successor arena, collects its own contributions
+// (objects emitted at s, the frontier flag), and registers the new state
+// record. The caller decides whether to descend (expanded states) — splice
+// records never come through here.
+func (sc *Scratch) memoExpand(gv graphView, fields *intstack.Table, s pptaState, cfg Config, bud *Budget) (int32, error) {
+	succOff := int32(len(sc.msucc))
+	ownOff := int32(len(sc.mOwnObj))
+	frontier := false
+	sc.ppta++
+
+	switch s.st {
+	case S1:
+		frontier = gv.hasGlobalIn(s.node)
+		for _, e := range gv.localIn(s.node) {
+			if !bud.Step() {
+				return 0, ErrBudget
+			}
+			sc.edges++
+			switch e.Kind {
+			case pag.New:
+				if s.fs == intstack.Empty {
+					sc.mOwnObj = append(sc.mOwnObj, e.Src)
+				} else {
+					for _, e2 := range gv.localOut(e.Src) {
+						if e2.Kind == pag.New {
+							sc.msucc = append(sc.msucc, pptaState{node: e2.Dst, fs: s.fs, st: S2})
+						}
+					}
+				}
+			case pag.Assign:
+				sc.msucc = append(sc.msucc, pptaState{node: e.Src, fs: s.fs, st: S1})
+			case pag.Load:
+				if fields.Depth(s.fs) >= cfg.MaxFieldDepth {
+					return 0, ErrDepth
+				}
+				sc.msucc = append(sc.msucc, pptaState{node: e.Src, fs: fields.Push(s.fs, e.Label), st: S1})
+			}
+		}
+
+	case S2:
+		frontier = gv.hasGlobalOut(s.node)
+		for _, e := range gv.localOut(s.node) {
+			if !bud.Step() {
+				return 0, ErrBudget
+			}
+			sc.edges++
+			switch e.Kind {
+			case pag.Assign:
+				sc.msucc = append(sc.msucc, pptaState{node: e.Dst, fs: s.fs, st: S2})
+			case pag.Load:
+				if top, ok := fields.Peek(s.fs); ok && top == e.Label {
+					sc.msucc = append(sc.msucc, pptaState{node: e.Dst, fs: fields.Pop(s.fs), st: S2})
+				}
+			case pag.Store:
+				if fields.Depth(s.fs) >= cfg.MaxFieldDepth {
+					return 0, ErrDepth
+				}
+				sc.msucc = append(sc.msucc, pptaState{node: e.Dst, fs: fields.Push(s.fs, e.Label), st: S1})
+			}
+		}
+		for _, e := range gv.localIn(s.node) {
+			if e.Kind != pag.Store {
+				continue
+			}
+			if !bud.Step() {
+				return 0, ErrBudget
+			}
+			sc.edges++
+			if top, ok := fields.Peek(s.fs); ok && top == e.Label {
+				sc.msucc = append(sc.msucc, pptaState{node: e.Src, fs: fields.Pop(s.fs), st: S1})
+			}
+		}
+	}
+
+	idx := int32(len(sc.mstates))
+	sc.mstates = append(sc.mstates, memoState{
+		st:       s,
+		low:      idx,
+		result:   -1,
+		succOff:  succOff,
+		succLen:  int32(len(sc.msucc)) - succOff,
+		ownOff:   ownOff,
+		ownLen:   int32(len(sc.mOwnObj)) - ownOff,
+		frontier: frontier,
+	})
+	sc.mseen.put(pkey(s), idx)
+	return idx, nil
+}
+
+// completeSCC finalises the strongly-connected component rooted at state
+// root: it pops the members off the Tarjan stack, unions their own
+// contributions with the results of every completed successor (intra-SCC
+// edges resolve to open states and are skipped — their contribution is the
+// union being built), records the deduplicated closure as a new result,
+// and queues the write-back entries permitted by the heuristic. At this
+// point every extra-SCC successor has a completed result, so the recorded
+// closure is exact — the soundness condition for caching it.
+func (sc *Scratch) completeSCC(root int32, fields *intstack.Table, cfg Config) {
+	mstart := len(sc.mtstack)
+	for {
+		mstart--
+		if sc.mtstack[mstart] == root {
+			break
+		}
+	}
+	members := sc.mtstack[mstart:]
+
+	sc.mObjSeen.reset()
+	sc.mFrSeen.reset()
+	sc.mResSeen.reset()
+	objOff := int32(len(sc.mResObj))
+	frOff := int32(len(sc.mResFr))
+
+	for _, mi := range members {
+		ms := sc.mstates[mi]
+		for _, o := range sc.mOwnObj[ms.ownOff : ms.ownOff+ms.ownLen] {
+			if sc.mObjSeen.visit(uint64(uint32(o))) {
+				sc.mResObj = append(sc.mResObj, o)
+			}
+		}
+		if ms.frontier {
+			if sc.mFrSeen.visit(pkey(ms.st)) {
+				sc.mResFr = append(sc.mResFr, FrontierState{Node: ms.st.node, Fs: ms.st.fs, St: ms.st.st})
+			}
+		}
+		for _, t := range sc.msucc[ms.succOff : ms.succOff+ms.succLen] {
+			idx, ok := sc.mseen.get(pkey(t))
+			if !ok {
+				continue // unreachable: every iterated successor was resolved
+			}
+			r := sc.mstates[idx].result
+			if r < 0 || !sc.mResSeen.visit(uint64(uint32(r))) {
+				continue // intra-SCC edge, or child already unioned
+			}
+			// Capture the child's views before appending to the arenas:
+			// growth may move the backing array, but captured slices keep
+			// reading the old one.
+			cobjs, cfrs := sc.resultViews(r)
+			for _, o := range cobjs {
+				if sc.mObjSeen.visit(uint64(uint32(o))) {
+					sc.mResObj = append(sc.mResObj, o)
+				}
+			}
+			for _, f := range cfrs {
+				if sc.mFrSeen.visit(fkey(f)) {
+					sc.mResFr = append(sc.mResFr, f)
+				}
+			}
+		}
+	}
+
+	ridx := int32(len(sc.mres))
+	sc.mres = append(sc.mres, memoResult{
+		objOff: objOff, objLen: int32(len(sc.mResObj)) - objOff,
+		frOff: frOff, frLen: int32(len(sc.mResFr)) - frOff,
+	})
+	for _, mi := range members {
+		sc.mstates[mi].result = ridx
+	}
+	sc.mtstack = sc.mtstack[:mstart]
+
+	// Queue write-backs: the start state (index 0) unconditionally — that
+	// is the entry the driver re-probes, and the pre-memoisation engine
+	// cached it too — and intermediate states subject to the memory
+	// heuristic (shallow field stacks only, bounded count per run).
+	// Nothing is materialised here: commitWriteBacks copies each distinct
+	// result once, only if the whole traversal succeeds.
+	for _, mi := range members {
+		if mi != 0 {
+			if len(sc.pendKeys) >= cfg.MaxWriteBacks ||
+				fields.Depth(sc.mstates[mi].st.fs) > cfg.WriteBackDepth {
+				continue
+			}
+		}
+		sc.pendKeys = append(sc.pendKeys, sc.mstates[mi].st)
+		sc.pendRIdx = append(sc.pendRIdx, ridx)
+	}
+}
+
+// runPPTAMemo computes DSPOINTSTO(start) as a memoised closure over the
+// PPTA state graph (see the file comment): cache splice-in on the way
+// down, per-SCC write-back on the way up. cache is the engine's summary
+// cache (probed read-only here; the queued write-backs in sc.pendKeys/
+// pendRes are committed by the caller only after this returns nil). The
+// returned Summary views the Scratch arenas and is valid until the next
+// Summarize call of the same query — the driver's documented contract.
+//
+// On error (budget/depth) the pending write-backs are discarded: a partial
+// traversal proves nothing about any state's complete closure.
+func runPPTAMemo(gv graphView, fields *intstack.Table, cache *summaryCache, start pptaState, cfg Config, bud *Budget, sc *Scratch) (Summary, error) {
+	sc.resetMemo()
+	rootIdx, err := sc.memoExpand(gv, fields, start, cfg, bud)
+	if err != nil {
+		sc.discardPending()
+		sc.dropMemoRefs()
+		return Summary{}, err
+	}
+	sc.mframes = append(sc.mframes, memoFrame{idx: rootIdx})
+	sc.mtstack = append(sc.mtstack, rootIdx)
+
+	for len(sc.mframes) > 0 {
+		fi := len(sc.mframes) - 1
+		cur := sc.mframes[fi].idx
+		pos := sc.mframes[fi].pos
+
+		if pos < sc.mstates[cur].succLen {
+			sc.mframes[fi].pos++
+			t := sc.msucc[sc.mstates[cur].succOff+pos]
+			k := pkey(t)
+			if idx, ok := sc.mseen.get(k); ok {
+				// Known state: open ⇒ Tarjan lowlink over its discovery
+				// number; completed ⇒ nothing to do until completion-time
+				// union reads its result.
+				if sc.mstates[idx].result < 0 && idx < sc.mstates[cur].low {
+					sc.mstates[cur].low = idx
+				}
+				continue
+			}
+			// Splice-in: a cached complete closure substitutes for the
+			// whole sub-traversal. The record is born completed.
+			if r, ok := cache.get(t); ok {
+				ridx := int32(len(sc.mres))
+				sc.mres = append(sc.mres, memoResult{cached: r})
+				idx := int32(len(sc.mstates))
+				sc.mstates = append(sc.mstates, memoState{st: t, low: idx, result: ridx})
+				sc.mseen.put(k, idx)
+				sc.spliced++
+				continue
+			}
+			idx, err := sc.memoExpand(gv, fields, t, cfg, bud)
+			if err != nil {
+				sc.discardPending()
+				sc.dropMemoRefs()
+				return Summary{}, err
+			}
+			sc.mframes = append(sc.mframes, memoFrame{idx: idx})
+			sc.mtstack = append(sc.mtstack, idx)
+			continue
+		}
+
+		// All successors processed: complete the SCC if cur is its root,
+		// then fold cur's lowlink into the DFS parent.
+		sc.mframes = sc.mframes[:fi]
+		low := sc.mstates[cur].low
+		if low == cur {
+			sc.completeSCC(cur, fields, cfg)
+		}
+		if fi > 0 {
+			p := sc.mframes[fi-1].idx
+			if low < sc.mstates[p].low {
+				sc.mstates[p].low = low
+			}
+		}
+	}
+
+	objs, frs := sc.resultViews(sc.mstates[rootIdx].result)
+	sc.dropMemoRefs()
+	return Summary{Objects: objs, Frontier: frs}, nil
 }

@@ -113,6 +113,103 @@ func (v *visitSet) rehash() {
 	}
 }
 
+// visitMap is a visitSet that carries an int32 value per key: the memoised
+// PPTA uses it to map dense state encodings to state-record indices.
+// Insert-only within a generation (a state's index never changes); reset
+// invalidates every entry in O(1).
+type visitMap struct {
+	keys []uint64 // stored as key+1; 0 = empty slot
+	vals []int32
+	gens []uint32
+	used int
+	gen  uint32
+}
+
+func (v *visitMap) grow(n int) {
+	v.keys = make([]uint64, n)
+	v.vals = make([]int32, n)
+	v.gens = make([]uint32, n)
+	v.used = 0
+	v.gen = 1
+}
+
+func (v *visitMap) reset() {
+	if v.keys == nil {
+		v.grow(256)
+		return
+	}
+	v.gen++
+	if v.gen == 0 || v.used > len(v.keys)*3/4 {
+		v.grow(len(v.keys))
+	}
+}
+
+// get returns the value recorded for k in the current generation.
+func (v *visitMap) get(k uint64) (int32, bool) {
+	k++
+	mask := uint64(len(v.keys) - 1)
+	i := mix64(k) & mask
+	for {
+		switch v.keys[i] {
+		case 0:
+			return 0, false
+		case k:
+			if v.gens[i] == v.gen {
+				return v.vals[i], true
+			}
+			return 0, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put records k → val; k must not be present in the current generation.
+func (v *visitMap) put(k uint64, val int32) {
+	k++
+	mask := uint64(len(v.keys) - 1)
+	i := mix64(k) & mask
+	for {
+		switch v.keys[i] {
+		case 0:
+			if v.used >= len(v.keys)*3/4 {
+				v.rehash()
+				v.put(k-1, val)
+				return
+			}
+			v.keys[i] = k
+			v.vals[i] = val
+			v.gens[i] = v.gen
+			v.used++
+			return
+		case k:
+			// Stale slot from an earlier generation: re-arm in place.
+			v.vals[i] = val
+			v.gens[i] = v.gen
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (v *visitMap) rehash() {
+	keys, vals, gens, gen := v.keys, v.vals, v.gens, v.gen
+	v.grow(2 * len(keys))
+	v.gen = gen
+	for i, k := range keys {
+		if k != 0 && gens[i] == gen {
+			mask := uint64(len(v.keys) - 1)
+			j := mix64(k) & mask
+			for v.keys[j] != 0 {
+				j = (j + 1) & mask
+			}
+			v.keys[j] = k
+			v.vals[j] = vals[i]
+			v.gens[j] = gen
+			v.used++
+		}
+	}
+}
+
 // visitSet2 is a visitSet over 128-bit keys (the driver tuple needs node,
 // field stack, context and direction — 94 bits).
 type visitSet2 struct {
@@ -205,15 +302,54 @@ type Scratch struct {
 	seen  visitSet2
 	dwork []driverTuple
 
-	// PPTA state (Algorithm 3 closure).
+	// PPTA state (Algorithm 3 closure), flat path (cache disabled).
 	pvisited visitSet
 	pwork    []pptaState
 
-	// Result-accumulation buffers: the PPTA gathers objects and frontier
-	// states here, then copies them once into exactly-sized immutable
-	// slices for the summary cache.
+	// Result-accumulation buffers: the flat PPTA gathers objects and
+	// frontier states here, then copies them once into exactly-sized
+	// immutable slices for the summary cache.
 	objBuf []pag.NodeID
 	frBuf  []FrontierState
+
+	// Memoised-PPTA state (cache enabled): the Tarjan-style DFS over the
+	// PPTA state graph. mseen maps dense state encodings to indices in
+	// mstates; msucc and mOwnObj are arenas holding every state's successor
+	// tuples and own-emitted objects as (offset, length) ranges; mframes is
+	// the DFS stack, mtstack the Tarjan component stack. Completed SCC
+	// results live as ranges into the mResObj/mResFr arenas, described by
+	// mres records. Ranges stay valid across arena growth because access
+	// always re-slices the current arena.
+	mseen   visitMap
+	mstates []memoState
+	msucc   []pptaState
+	mOwnObj []pag.NodeID
+	mframes []memoFrame
+	mtstack []int32
+	mres    []memoResult
+	mResObj []pag.NodeID
+	mResFr  []FrontierState
+
+	// Per-SCC union dedup sets, generation-reset at each SCC completion.
+	mObjSeen visitSet // object node IDs
+	mFrSeen  visitSet // frontier-state encodings
+	mResSeen visitSet // child result indices
+
+	// Pending write-backs of the current PPTA run: pendKeys[i] is a state
+	// to cache, pendRIdx[i] the index of its SCC's result record (runs of
+	// equal indices are one SCC's members). Nothing is materialised until
+	// the whole traversal succeeds — commitWriteBacks then copies each
+	// distinct result once into block-allocated immutable slices and
+	// batch-inserts, filling the parallel pendMeth/pendRes arrays on the
+	// way; a budget or depth abort just truncates the queue (partial
+	// closures must never be cached).
+	pendKeys []pptaState
+	pendRIdx []int32
+	pendMeth []pag.MethodID
+	pendRes  []*pptaResult
+
+	// Batched memoisation counters, flushed with the other work counters.
+	spliced, written int64
 
 	// idBuf backs the single-state frontier of identity summaries (nodes
 	// without local edges), avoiding one allocation per such Summarize.
@@ -247,7 +383,9 @@ func getScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 func putScratch(sc *Scratch, nodes int) {
 	// Drop the graph view: a pooled Scratch must not pin the queried
 	// graph (and its condensed overlay) until GC happens to evict the
-	// pool entry.
+	// pool entry. (Result pointers the memoised PPTA parks in mres and
+	// pendRes are zeroed at the end of each traversal/commit — doing it
+	// here would memset large pooled buffers on every warm query.)
 	sc.gv = graphView{}
 	sc.trim(retainLimit(nodes))
 	scratchPool.Put(sc)
@@ -292,6 +430,54 @@ func (sc *Scratch) trim(limit int) {
 	if cap(sc.frBuf) > limit {
 		sc.frBuf = nil
 	}
+	if len(sc.mseen.keys) > limit {
+		sc.mseen = visitMap{}
+	}
+	if cap(sc.mstates) > limit {
+		sc.mstates = nil
+	}
+	if cap(sc.msucc) > limit {
+		sc.msucc = nil
+	}
+	if cap(sc.mOwnObj) > limit {
+		sc.mOwnObj = nil
+	}
+	if cap(sc.mframes) > limit {
+		sc.mframes = nil
+	}
+	if cap(sc.mtstack) > limit {
+		sc.mtstack = nil
+	}
+	if cap(sc.mres) > limit {
+		sc.mres = nil
+	}
+	if cap(sc.mResObj) > limit {
+		sc.mResObj = nil
+	}
+	if cap(sc.mResFr) > limit {
+		sc.mResFr = nil
+	}
+	if len(sc.mObjSeen.keys) > limit {
+		sc.mObjSeen = visitSet{}
+	}
+	if len(sc.mFrSeen.keys) > limit {
+		sc.mFrSeen = visitSet{}
+	}
+	if len(sc.mResSeen.keys) > limit {
+		sc.mResSeen = visitSet{}
+	}
+	if cap(sc.pendKeys) > limit {
+		sc.pendKeys = nil
+	}
+	if cap(sc.pendRIdx) > limit {
+		sc.pendRIdx = nil
+	}
+	if cap(sc.pendMeth) > limit {
+		sc.pendMeth = nil
+	}
+	if cap(sc.pendRes) > limit {
+		sc.pendRes = nil
+	}
 }
 
 // resetDriver prepares the driver tables for a new query. Slice
@@ -302,12 +488,30 @@ func (sc *Scratch) resetDriver() {
 	sc.dwork = sc.dwork[:0]
 }
 
-// resetPPTA prepares the PPTA tables for one summary computation.
+// resetPPTA prepares the flat-PPTA tables for one summary computation.
 func (sc *Scratch) resetPPTA() {
 	sc.pvisited.reset()
 	sc.pwork = sc.pwork[:0]
 	sc.objBuf = sc.objBuf[:0]
 	sc.frBuf = sc.frBuf[:0]
+}
+
+// resetMemo prepares the memoised-PPTA tables for one traversal. The
+// per-SCC dedup sets are reset at each SCC completion instead.
+func (sc *Scratch) resetMemo() {
+	sc.mseen.reset()
+	sc.mstates = sc.mstates[:0]
+	sc.msucc = sc.msucc[:0]
+	sc.mOwnObj = sc.mOwnObj[:0]
+	sc.mframes = sc.mframes[:0]
+	sc.mtstack = sc.mtstack[:0]
+	sc.mres = sc.mres[:0]
+	sc.mResObj = sc.mResObj[:0]
+	sc.mResFr = sc.mResFr[:0]
+	sc.pendKeys = sc.pendKeys[:0]
+	sc.pendRIdx = sc.pendRIdx[:0]
+	sc.pendMeth = sc.pendMeth[:0]
+	sc.pendRes = sc.pendRes[:0]
 }
 
 // flushMetrics adds the batched per-query counters into m in three atomic
@@ -324,6 +528,14 @@ func (sc *Scratch) flushMetrics(m *Metrics) {
 	if sc.edges != 0 {
 		atomic.AddInt64(&m.EdgesTraversed, sc.edges)
 		sc.edges = 0
+	}
+	if sc.spliced != 0 {
+		atomic.AddInt64(&m.SplicedSummaries, sc.spliced)
+		sc.spliced = 0
+	}
+	if sc.written != 0 {
+		atomic.AddInt64(&m.WrittenBackSummaries, sc.written)
+		sc.written = 0
 	}
 }
 

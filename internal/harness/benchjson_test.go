@@ -34,6 +34,10 @@ func TestRunBenchJSONRecords(t *testing.T) {
 		"condense/bloat-cyclic/NullDeref/condensed":  false,
 		"warm-query/bloat-cyclic/condensed":          false,
 		"warm-query/bloat-cyclic/base":               false,
+		"cold/soot-c/NullDeref":                      false,
+		"cold/soot-c-diamond/NullDeref":              false,
+		"cold/bloat-diamond/NullDeref":               false,
+		"cold/xalan-diamond/NullDeref":               false,
 	}
 	for _, r := range snap.Records {
 		if _, ok := want[r.Name]; ok {
@@ -52,6 +56,10 @@ func TestRunBenchJSONRecords(t *testing.T) {
 	for _, r := range snap.Records {
 		if r.Name == "table4/soot-c/NullDeref/DYNSUM" && (r.EdgesTraversed == 0 || r.SummariesCached == 0) {
 			t.Errorf("table4 record lacks work counters: %+v", r)
+		}
+		if strings.HasPrefix(r.Name, "cold/") &&
+			(r.EdgesTraversed == 0 || r.PPTAVisits == 0 || r.SummariesComputed == 0 || r.SummariesCached == 0) {
+			t.Errorf("cold record lacks work counters: %+v", r)
 		}
 	}
 
@@ -84,11 +92,13 @@ func TestCompareBenchFile(t *testing.T) {
 			{Name: "a", NsPerOp: 100, EdgesTraversed: 1000},
 			{Name: "b", NsPerOp: 100, EdgesTraversed: 1000},
 			{Name: "c", NsPerOp: 100, EdgesTraversed: 1000},
+			{Name: "d", NsPerOp: 100, PPTAVisits: 1000},
 		}},
 		Current: BenchSnapshot{Records: []BenchRecord{
 			{Name: "a", NsPerOp: 300, EdgesTraversed: 1000},  // ns regression
 			{Name: "b", NsPerOp: 100, EdgesTraversed: 5000},  // edges regression
 			{Name: "c", NsPerOp: 50, EdgesTraversed: 500},    // improvement
+			{Name: "d", NsPerOp: 100, PPTAVisits: 4000},      // ppta regression
 			{Name: "new", NsPerOp: 9999, EdgesTraversed: 99}, // no baseline
 		}},
 	}
@@ -104,11 +114,13 @@ func TestCompareBenchFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if warnings != 2 {
-		t.Errorf("warnings = %d, want 2\n%s", warnings, buf.String())
+	if warnings != 3 {
+		t.Errorf("warnings = %d, want 3\n%s", warnings, buf.String())
 	}
-	if !strings.Contains(buf.String(), "WARNING a:") || !strings.Contains(buf.String(), "WARNING b:") {
-		t.Errorf("missing expected warnings:\n%s", buf.String())
+	for _, want := range []string{"WARNING a:", "WARNING b:", "WARNING d: ppta_visits"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing expected warning %q:\n%s", want, buf.String())
+		}
 	}
 
 	// A baseline-less file compares cleanly.

@@ -10,8 +10,12 @@ import (
 
 // Figure5Series is one benchmark's cumulative-summary series for one
 // client (paper Figure 5): after each batch of queries, the number of PPTA
-// summaries DYNSUM has cached so far, as a percentage of the summaries
-// STASUM precomputes offline for the whole program.
+// summaries DYNSUM has had to compute so far, as a percentage of the
+// summaries STASUM precomputes offline for the whole program. Computed
+// summaries (the Summaries work counter) rather than cache population is
+// the figure's quantity: the memoised engine writes back one cache entry
+// per visited state precisely so that it computes fewer summaries, and
+// the offline/on-demand comparison is about computation performed.
 type Figure5Series struct {
 	Bench         string
 	Client        string
@@ -48,10 +52,11 @@ func RunFigure5(opts Options, bench, client string) Figure5Series {
 		}
 		batch := subProgram(prog, client, lo, hi)
 		timedClient(client, batch, dyn)
-		series.DynCumulative = append(series.DynCumulative, dyn.SummaryCount())
+		computed := int(dyn.Metrics().Snapshot().Summaries)
+		series.DynCumulative = append(series.DynCumulative, computed)
 		pct := 0.0
 		if series.StaSumTotal > 0 {
-			pct = 100 * float64(dyn.SummaryCount()) / float64(series.StaSumTotal)
+			pct = 100 * float64(computed) / float64(series.StaSumTotal)
 		}
 		series.Percent = append(series.Percent, pct)
 	}

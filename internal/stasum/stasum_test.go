@@ -80,10 +80,15 @@ func TestOfflineCostVsDynamic(t *testing.T) {
 	if dyn.SummaryCount() == 0 {
 		t.Fatal("no dynamic summaries computed")
 	}
-	// A single query must not touch the whole program's boundary set.
-	if dyn.SummaryCount() >= sta.SummaryCount() {
-		t.Errorf("dynamic summaries (%d) not fewer than static (%d)",
-			dyn.SummaryCount(), sta.SummaryCount())
+	// A single query must not COMPUTE the whole program's boundary set.
+	// Computed summaries (PPTA runs), not cache population, is the
+	// offline-vs-on-demand quantity: the memoised engine deliberately
+	// writes back one cache entry per visited state, so its entry count
+	// exceeds its computation count by design.
+	computed := int(dyn.Metrics().Snapshot().Summaries)
+	if computed == 0 || computed >= sta.SummaryCount() {
+		t.Errorf("dynamic summaries computed (%d) not fewer than static (%d)",
+			computed, sta.SummaryCount())
 	}
 }
 
