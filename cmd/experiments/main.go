@@ -44,6 +44,7 @@ func realMain() int {
 		asCSV        = flag.Bool("csv", false, "emit CSV instead of text tables (tables 3-4, figures 4-5)")
 		ablations    = flag.Bool("ablations", false, "run the cache/locality/k-limit ablations")
 		parallel     = flag.Bool("parallel", false, "run the batch-query parallel-speedup sweep")
+		evolve       = flag.Bool("evolve", false, "run the dynamic-evolution experiment (delta overlay vs rebuild-from-scratch)")
 		benchJSON    = flag.String("bench-json", "", "measure the benchmark-trajectory workloads and write the snapshot to this JSON file (an existing baseline section in the file is preserved)")
 		benchCompare = flag.String("bench-compare", "", "compare a snapshot file's current section against its baseline and warn on regressions")
 		tolerance    = flag.Float64("tolerance", 0.2, "regression tolerance ratio for -bench-compare (0.2 = 20%)")
@@ -150,6 +151,11 @@ func realMain() int {
 	}
 	if *parallel || *all {
 		harness.WriteParallel(w, opts)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *evolve || *all {
+		harness.WriteEvolve(w, opts)
 		fmt.Fprintln(w)
 		ran = true
 	}

@@ -21,6 +21,8 @@ import (
 	"dynsum/internal/benchgen"
 	"dynsum/internal/clients"
 	"dynsum/internal/core"
+	"dynsum/internal/delta"
+	"dynsum/internal/harness"
 	"dynsum/internal/mj"
 	"dynsum/internal/pag"
 )
@@ -34,6 +36,8 @@ func main() {
 
 	if *bench {
 		benchStats(*scale, *seed)
+		fmt.Println()
+		evolveStats(*scale, *seed)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -84,6 +88,49 @@ func benchStats(scale float64, seed int64) {
 			p.Name, s.SCCs, s.LargestSCC, s.Nodes, s.Reps, s.NodeReduction(),
 			s.LocalEdges, s.CondensedLocalEdges, s.LocalEdgeReduction(),
 			m.SplicedSummaries, m.WrittenBackSummaries)
+	}
+	w.Flush()
+}
+
+// evolveStats renders the overlay/epoch table for the evolve workloads:
+// each load order is replayed through the delta overlay on one engine
+// (with the cumulative NullDeref batch between waves, so invalidation has
+// warmed summaries to act on), then the overlay's cumulative state is
+// reported alongside the condensation table above.
+func evolveStats(scale float64, seed int64) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "evolve-benchmark\twaves\tepochs\tadded-methods\tpatched-methods\tpatched-nodes\toverlay-edges\tfrac%\tdissolved-sccs\trebuilt-reps\tinvalidated\tcompactions")
+	for _, name := range benchgen.EvolveBenchmarks {
+		p := benchgen.ProfileByNameMust(name).Scaled(scale)
+		ev, err := benchgen.GenerateEvolve(p, seed, benchgen.DefaultEvolveWaves)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pagstat:", err)
+			os.Exit(1)
+		}
+		d := core.NewDynSum(ev.Base.G, core.Config{}, nil)
+		dst := core.NewPointsToSet()
+		invalidated := 0
+		for k := 0; k < ev.NumWaves(); k++ {
+			if k > 0 {
+				res, err := harness.ApplyWave(d, ev, k)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "pagstat:", err)
+					os.Exit(1)
+				}
+				invalidated += res.InvalidatedSummaries
+			}
+			for _, q := range ev.DerefsThrough(k) {
+				d.PointsToInto(dst, q.Var)
+			}
+		}
+		var s delta.Stats
+		if ov := d.Overlay(); ov != nil {
+			s = ov.Stats()
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%d\t%d\t%d\t%d\n",
+			ev.Name, ev.NumWaves(), s.Epochs, s.AddedMethods, s.PatchedMethods, s.PatchedNodes,
+			s.OverlayEdges, 100*s.OverlayFraction(), s.DissolvedSCCs, s.RebuiltReps,
+			invalidated, d.Compactions())
 	}
 	w.Flush()
 }

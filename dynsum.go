@@ -34,6 +34,7 @@ import (
 	"dynsum/internal/benchgen"
 	"dynsum/internal/clients"
 	"dynsum/internal/core"
+	"dynsum/internal/delta"
 	"dynsum/internal/intstack"
 	"dynsum/internal/mj"
 	"dynsum/internal/pag"
@@ -67,6 +68,50 @@ type (
 	Report = clients.Report
 	// FrontendInfo exposes the MiniJava symbol tables.
 	FrontendInfo = mj.Info
+	// DeltaLog records method-granular program changes (added methods,
+	// nodes, edges, redefinitions) for ApplyDelta.
+	DeltaLog = delta.Log
+	// DeltaResult reports what one applied epoch did: overlay statistics
+	// plus the summaries invalidated and whether auto-compaction ran.
+	DeltaResult = core.DeltaResult
+
+	// Identifier and edge types re-exported so DeltaLog entries can be
+	// constructed against the facade alone.
+	MethodID   = pag.MethodID
+	ClassID    = pag.ClassID
+	CallSiteID = pag.CallSiteID
+	FieldID    = pag.FieldID
+	NodeKind   = pag.NodeKind
+	EdgeKind   = pag.EdgeKind
+	Edge       = pag.Edge
+	CallSite   = pag.CallSite
+)
+
+// Node-kind and edge-kind constants, re-exported for DeltaLog users.
+const (
+	Local  = pag.Local
+	Global = pag.Global
+	Object = pag.Object
+
+	New          = pag.New
+	Assign       = pag.Assign
+	Load         = pag.Load
+	Store        = pag.Store
+	AssignGlobal = pag.AssignGlobal
+	Entry        = pag.Entry
+	Exit         = pag.Exit
+
+	// NoLabel is the Label of unlabelled edge kinds.
+	NoLabel = pag.NoLabel
+)
+
+// Sentinel "none" identifiers, re-exported for DeltaLog users.
+const (
+	NoNode     = pag.NoNode
+	NoMethod   = pag.NoMethod
+	NoClass    = pag.NoClass
+	NoField    = pag.NoField
+	NoCallSite = pag.NoCallSite
 )
 
 // Errors and defaults re-exported from the kernel.
@@ -114,6 +159,30 @@ func LoadPAG(r io.Reader) (*Program, error) { return pag.Decode(r) }
 
 // SavePAG writes a Program in the textual PAG format.
 func SavePAG(w io.Writer, p *Program) error { return pag.Encode(w, p) }
+
+// NewDeltaLog starts a change log positioned at the engine's current
+// program, for the dynamic scenario the paper is named for: code arriving
+// while the analysis is live (class loading, JIT recompilation, an IDE
+// session). Fill the log with its AddMethod/AddNode/AddEdge/RedefineMethod
+// methods and hand it to ApplyDelta. The engine's graph must be frozen.
+func NewDeltaLog(engine *core.DynSum) (*DeltaLog, error) { return engine.NewDeltaLog() }
+
+// ApplyDelta applies one epoch of recorded program changes to a quiesced
+// engine: the frozen graph absorbs the change through a per-node overlay
+// (no re-freeze), the SCC condensation is repaired locally, and only the
+// summaries of the touched methods are invalidated — everything else stays
+// warm. Once the overlay outgrows Config.CompactFraction of the base, the
+// epoch finishes with an automatic Compact.
+func ApplyDelta(engine *core.DynSum, log *DeltaLog) (DeltaResult, error) {
+	return engine.ApplyDelta(log)
+}
+
+// Compact merges an evolved engine's overlay into a fresh frozen,
+// re-condensed graph with identical IDs (and clears the summary cache,
+// which the fresh condensation re-keys). ApplyDelta triggers this
+// automatically past Config.CompactFraction; call it directly to force the
+// merge at a quiet moment.
+func Compact(engine *core.DynSum) error { return engine.Compact() }
 
 // BatchPointsTo answers a batch of whole-program points-to queries (empty
 // initial context) on engine, fanned out across workers goroutines sharing

@@ -31,6 +31,17 @@ import (
 // sites when the program has fewer sites than queries — re-querying a site
 // is exactly what IDE clients do and what the summary cache exploits.
 func Generate(p Profile, seed int64) *pag.Program {
+	prog := generate(p, seed)
+	// Synthetic benchmarks are never edited after generation: freeze to
+	// the CSR layout so every engine and experiment runs on the fast path.
+	// (The evolve workloads keep the mutable form and partition it into
+	// load-order waves instead; see evolve.go.)
+	prog.G.Freeze()
+	return prog
+}
+
+// generate builds the program without freezing it.
+func generate(p Profile, seed int64) *pag.Program {
 	g := &genState{
 		p:   p,
 		rng: rand.New(rand.NewSource(seed)),
@@ -667,9 +678,6 @@ func (g *genState) finish() *pag.Program {
 		sites[i] = f.site
 	}
 	prog.Factories = cycle(sites, g.p.QFactoryM)
-	// Synthetic benchmarks are never edited after generation: freeze to
-	// the CSR layout so every engine and experiment runs on the fast path.
-	prog.G.Freeze()
 	return prog
 }
 

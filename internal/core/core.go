@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"dynsum/internal/delta"
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -54,6 +55,14 @@ type Config struct {
 	// single giant cold traversal can cause. 0 means the default (4096);
 	// negative writes back only start states.
 	MaxWriteBacks int
+
+	// CompactFraction is the delta-overlay size trigger for automatic
+	// compaction: when an ApplyDelta leaves the overlay holding more than
+	// this fraction of the base graph's edge records, the engine merges
+	// the overlay into a fresh frozen graph (DynSum.Compact). 0 means the
+	// default (delta.DefaultCompactFraction, 0.5); negative disables
+	// auto-compaction (explicit Compact still works).
+	CompactFraction float64
 }
 
 // Write-back heuristic defaults: shallow field stacks cover the states
@@ -82,6 +91,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MaxWriteBacks == 0 {
 		c.MaxWriteBacks = DefaultMaxWriteBacks
+	}
+	if c.CompactFraction == 0 {
+		c.CompactFraction = delta.DefaultCompactFraction
 	}
 	return c
 }

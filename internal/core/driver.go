@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"dynsum/internal/delta"
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -63,18 +64,28 @@ type driverTuple struct {
 	ctx  intstack.ID
 }
 
-// graphView selects between the base adjacency and the SCC-condensed
-// overlay (pag/condense.go) with one predictable nil check per access.
-// With a non-nil cond every node flowing through the driver and the PPTA
-// is a representative: the start tuple is rep-mapped once and condensed
-// edges carry rep-mapped endpoints, so visited tables, worklist tuples
-// and summary-cache keys all collapse onto representatives for free.
+// graphView selects between the base adjacency, the SCC-condensed overlay
+// (pag/condense.go) and — on evolved graphs — the epoch delta overlay
+// (internal/delta) with one predictable branch per access. With a non-nil
+// cond every node flowing through the driver and the PPTA is a
+// representative: the start tuple is rep-mapped once and condensed edges
+// carry rep-mapped endpoints, so visited tables, worklist tuples and
+// summary-cache keys all collapse onto representatives for free. With a
+// non-nil ov the overlay resolves every access itself: patched nodes read
+// their per-node replacement spans, everything else falls through to the
+// same condensed/base spans as before, and rep routes through the
+// overlay's *repaired* representative function (dissolved SCC members are
+// their own reps).
 type graphView struct {
 	g    *pag.Graph
 	cond *pag.Condensation
+	ov   *delta.Overlay
 }
 
 func (v graphView) localIn(n pag.NodeID) []pag.Edge {
+	if v.ov != nil {
+		return v.ov.LocalIn(n, v.cond != nil)
+	}
 	if v.cond != nil {
 		return v.cond.LocalIn(n)
 	}
@@ -82,6 +93,9 @@ func (v graphView) localIn(n pag.NodeID) []pag.Edge {
 }
 
 func (v graphView) localOut(n pag.NodeID) []pag.Edge {
+	if v.ov != nil {
+		return v.ov.LocalOut(n, v.cond != nil)
+	}
 	if v.cond != nil {
 		return v.cond.LocalOut(n)
 	}
@@ -89,6 +103,9 @@ func (v graphView) localOut(n pag.NodeID) []pag.Edge {
 }
 
 func (v graphView) globalIn(n pag.NodeID) []pag.Edge {
+	if v.ov != nil {
+		return v.ov.GlobalIn(n, v.cond != nil)
+	}
 	if v.cond != nil {
 		return v.cond.GlobalIn(n)
 	}
@@ -96,6 +113,9 @@ func (v graphView) globalIn(n pag.NodeID) []pag.Edge {
 }
 
 func (v graphView) globalOut(n pag.NodeID) []pag.Edge {
+	if v.ov != nil {
+		return v.ov.GlobalOut(n, v.cond != nil)
+	}
 	if v.cond != nil {
 		return v.cond.GlobalOut(n)
 	}
@@ -103,6 +123,9 @@ func (v graphView) globalOut(n pag.NodeID) []pag.Edge {
 }
 
 func (v graphView) hasGlobalIn(n pag.NodeID) bool {
+	if v.ov != nil {
+		return v.ov.HasGlobalIn(n, v.cond != nil)
+	}
 	if v.cond != nil {
 		return v.cond.HasGlobalIn(n)
 	}
@@ -110,6 +133,9 @@ func (v graphView) hasGlobalIn(n pag.NodeID) bool {
 }
 
 func (v graphView) hasGlobalOut(n pag.NodeID) bool {
+	if v.ov != nil {
+		return v.ov.HasGlobalOut(n, v.cond != nil)
+	}
 	if v.cond != nil {
 		return v.cond.HasGlobalOut(n)
 	}
@@ -117,18 +143,43 @@ func (v graphView) hasGlobalOut(n pag.NodeID) bool {
 }
 
 func (v graphView) hasLocalEdges(n pag.NodeID) bool {
+	if v.ov != nil {
+		return v.ov.HasLocalEdges(n, v.cond != nil)
+	}
 	if v.cond != nil {
 		return v.cond.HasLocalEdges(n)
 	}
 	return v.g.HasLocalEdges(n)
 }
 
-// rep maps n to its SCC representative (identity without condensation).
+// rep maps n to its SCC representative (identity without condensation; the
+// repaired representative on evolved graphs).
 func (v graphView) rep(n pag.NodeID) pag.NodeID {
-	if v.cond != nil {
-		return v.cond.Rep(n)
+	if v.cond == nil {
+		return n
 	}
-	return n
+	if v.ov != nil {
+		return v.ov.Rep(n)
+	}
+	return v.cond.Rep(n)
+}
+
+// numNodes returns the view's node count (delta-added nodes included),
+// the sizing hint for the pooled Scratch.
+func (v graphView) numNodes() int {
+	if v.ov != nil {
+		return v.ov.NumNodes()
+	}
+	return v.g.NumNodes()
+}
+
+// nodeMethod returns n's enclosing method, resolving delta-added nodes
+// through the overlay (the base node table does not know them).
+func (v graphView) nodeMethod(n pag.NodeID) pag.MethodID {
+	if v.ov != nil {
+		return v.ov.Node(n).Method
+	}
+	return v.g.Node(n).Method
 }
 
 // RunDriver executes the Algorithm 4 worklist for a points-to query on v
@@ -143,18 +194,19 @@ func RunDriver(g *pag.Graph, cond *pag.Condensation, ctxs *intstack.Table, cfg C
 
 	pts := NewPointsToSet()
 	sc := getScratch()
-	err := runDriverInto(g, cond, ctxs, cfg, sum, v, ctx, bud, m, trace, pts, sc)
+	err := runDriverInto(g, cond, nil, ctxs, cfg, sum, v, ctx, bud, m, trace, pts, sc)
 	putScratch(sc, g.NumNodes())
 	return pts, err
 }
 
 // runDriverInto is RunDriver accumulating into a caller-supplied set with
-// a caller-supplied workspace — the allocation-free core.
-func runDriverInto(g *pag.Graph, cond *pag.Condensation, ctxs *intstack.Table, cfg Config, sum Summarizer,
+// a caller-supplied workspace — the allocation-free core. ov, when
+// non-nil, is the graph's delta overlay (evolved graphs; DYNSUM only).
+func runDriverInto(g *pag.Graph, cond *pag.Condensation, ov *delta.Overlay, ctxs *intstack.Table, cfg Config, sum Summarizer,
 	v pag.NodeID, ctx intstack.ID, bud *Budget, m *Metrics, trace func(TraceEvent),
 	pts *PointsToSet, sc *Scratch) error {
 
-	gv := graphView{g: g, cond: cond}
+	gv := graphView{g: g, cond: cond, ov: ov}
 	sc.gv = gv
 	sc.resetDriver()
 	defer sc.flushMetrics(m)

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"dynsum/internal/delta"
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -34,6 +35,15 @@ type DynSum struct {
 
 	g   *pag.Graph
 	cfg Config
+
+	// ov is the delta overlay of an evolved engine (nil until the first
+	// ApplyDelta): the frozen graph plus the epochs applied so far. It is
+	// installed and advanced only by the mutators (ApplyDelta, Compact),
+	// under the same quiescence contract, so queries read it plainly.
+	ov *delta.Overlay
+	// compactions counts how many times the overlay was merged back into
+	// a fresh frozen graph (auto-trigger or explicit Compact).
+	compactions int
 
 	fields *intstack.Table // field stacks (private)
 	ctxs   *intstack.Table // context stacks (shareable across engines)
@@ -193,8 +203,8 @@ func (d *DynSum) PointsToCtxInto(dst *PointsToSet, v pag.NodeID, ctx intstack.ID
 	}
 	sc := getScratch()
 	sc.bud = Budget{Limit: d.cfg.Budget}
-	err := runDriverInto(d.g, cond, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, &sc.bud, &d.metrics, d.Tracer, dst, sc)
-	putScratch(sc, d.g.NumNodes())
+	err := runDriverInto(d.g, cond, d.ov, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, &sc.bud, &d.metrics, d.Tracer, dst, sc)
+	putScratch(sc, graphView{g: d.g, ov: d.ov}.numNodes())
 	return err
 }
 
@@ -333,7 +343,7 @@ func (d *DynSum) commitWriteBacks(sc *Scratch, computed int64) {
 				cur.frontier = d.intern.frontiers(cur.frontier)
 			}
 		}
-		sc.pendMeth = append(sc.pendMeth, d.g.Node(sc.pendKeys[i].node).Method)
+		sc.pendMeth = append(sc.pendMeth, sc.gv.nodeMethod(sc.pendKeys[i].node))
 		sc.pendRes = append(sc.pendRes, cur)
 	}
 	sc.written += int64(d.cache.putBatch(sc.pendKeys, sc.pendMeth, sc.pendRes))

@@ -1,0 +1,540 @@
+package delta
+
+import (
+	"cmp"
+	"slices"
+
+	"dynsum/internal/pag"
+)
+
+// This file implements Overlay.Apply — one epoch — plus the statistics and
+// the Compact merge.
+//
+// Apply's cost is O(changed elements + repair blast radius): the nodes of
+// redefined methods, the endpoints of added/dropped edges, and — for the
+// condensed view — the representatives global-edge-adjacent to dissolved
+// SCC members. It never walks the whole graph (the lazy one-time index
+// builds in ensureIndexes are the only O(n) work, paid on the first epoch
+// and reused by all later ones).
+
+// ApplyStats reports what one epoch did. TouchedMethods is the engine's
+// invalidation work list: exactly the pre-existing methods whose cached
+// PPTA summaries may have changed (local-edge changes and global-flag
+// flips; see the soundness argument in overlay.go / DESIGN.md §10).
+type ApplyStats struct {
+	Epoch int
+
+	NewMethods       int
+	NewCallSites     int
+	NewNodes         int
+	NewEdges         int // effective (post-dedup) added edges
+	DroppedEdges     int
+	RedefinedMethods int
+
+	// TouchedMethods lists the pre-existing methods whose summaries must
+	// be invalidated, sorted. DependentMethods counts the methods the
+	// reverse-dependency sketch marks as global-edge-adjacent to the
+	// touched set — the bound a conservative cascading invalidator would
+	// use; the summaries' method-locality lets the engine skip them.
+	TouchedMethods   []pag.MethodID
+	DependentMethods int
+
+	// FlagFlips counts existing nodes whose global-edge frontier flag went
+	// from unset to set this epoch (each forces its method onto
+	// TouchedMethods).
+	FlagFlips int
+
+	// DissolvedSCCs / RebuiltReps describe the local condensation repair.
+	DissolvedSCCs int
+	RebuiltReps   int
+
+	// OverlayFraction is the overlay's size after this epoch as a fraction
+	// of the base graph's edge records — the auto-compaction signal.
+	OverlayFraction float64
+}
+
+// Stats is the overlay's cumulative state, for pagstat and the harness.
+type Stats struct {
+	Epochs         int
+	PatchedNodes   int // nodes carrying base-view overlay adjacency
+	PatchedMethods int // distinct methods containing patched nodes
+	AddedMethods   int
+	AddedNodes     int
+	AddedCallSites int
+	OverlayEdges   int // out-direction edge records held by the overlay
+	BaseEdges      int // out-direction edge records in the base CSR
+	DroppedEdges   int // cumulative
+	DissolvedSCCs  int // cumulative
+	RebuiltReps    int // cumulative
+}
+
+// OverlayFraction returns OverlayEdges/BaseEdges (0 on an empty base).
+func (s Stats) OverlayFraction() float64 {
+	if s.BaseEdges == 0 {
+		return 0
+	}
+	return float64(s.OverlayEdges) / float64(s.BaseEdges)
+}
+
+// Stats returns the overlay's cumulative statistics.
+func (o *Overlay) Stats() Stats {
+	patched := 0
+	for _, p := range o.patchBase {
+		if p >= 0 {
+			patched++
+		}
+	}
+	return Stats{
+		Epochs:         o.epoch,
+		PatchedNodes:   patched,
+		PatchedMethods: len(o.patchedMethods),
+		AddedMethods:   len(o.addedMethods),
+		AddedNodes:     len(o.addedNodes),
+		AddedCallSites: len(o.addedCallSites),
+		OverlayEdges:   o.overlayEdges,
+		BaseEdges:      o.g.NumEdges(),
+		DroppedEdges:   o.droppedEdges,
+		DissolvedSCCs:  o.dissolvedSCCs,
+		RebuiltReps:    o.rebuiltReps,
+	}
+}
+
+// Fraction returns the current overlay fraction (the Compact trigger).
+func (o *Overlay) Fraction() float64 {
+	if base := o.g.NumEdges(); base > 0 {
+		return float64(o.overlayEdges) / float64(base)
+	}
+	return 0
+}
+
+// Apply advances the overlay by one epoch with the changes recorded in l.
+// It validates the whole log first — a rejected log leaves the overlay
+// untouched — then patches the base view, repairs the condensed view
+// locally, and returns the invalidation work list. The log is consumed.
+//
+// Apply is a mutator: quiesce all engines reading the overlay first, as
+// for ResetCache and the other engine mutators.
+func (o *Overlay) Apply(l *Log) (ApplyStats, error) {
+	o.ensureIndexes()
+	if err := l.validate(o); err != nil {
+		return ApplyStats{}, err
+	}
+	preMethods := l.baseMethods
+	preNodes := l.baseNodes
+
+	// 1. Metadata: methods, call sites and node records join the
+	// overlay's side tables; the base graph is never written.
+	for _, m := range l.methods {
+		o.addedMethods = append(o.addedMethods, m)
+		o.methodNodes = append(o.methodNodes, nil)
+	}
+	o.addedCallSites = append(o.addedCallSites, l.callSites...)
+	for i, nd := range l.nodes {
+		id := pag.NodeID(preNodes + i)
+		o.addedNodes = append(o.addedNodes, nd)
+		o.patchBase = append(o.patchBase, -1)
+		o.patchCond = append(o.patchCond, -1)
+		if o.rep != nil {
+			o.rep = append(o.rep, id)
+		}
+		if nd.Method != pag.NoMethod {
+			o.methodNodes[nd.Method] = append(o.methodNodes[nd.Method], id)
+		}
+	}
+
+	// 2. Dropped edges: everything owned by a redefined method.
+	dropped := make(map[pag.Edge]bool)
+	for _, m := range l.redefined {
+		for _, n := range o.methodNodes[m] {
+			for _, e := range o.baseLocalOut(n) {
+				if o.ownerMethod(e) == m {
+					dropped[e] = true
+				}
+			}
+			for _, e := range o.baseGlobalOut(n) {
+				if o.ownerMethod(e) == m {
+					dropped[e] = true
+				}
+			}
+			for _, e := range o.baseLocalIn(n) {
+				if o.ownerMethod(e) == m {
+					dropped[e] = true
+				}
+			}
+			for _, e := range o.baseGlobalIn(n) {
+				if o.ownerMethod(e) == m {
+					dropped[e] = true
+				}
+			}
+		}
+	}
+
+	// 3. Effective added edges: dedup within the log and against edges
+	// that are present and surviving. A log edge identical to a dropped
+	// one is a genuine re-add.
+	var added []pag.Edge
+	logSeen := make(map[pag.Edge]bool, len(l.edges))
+	for _, e := range l.edges {
+		if logSeen[e] {
+			continue
+		}
+		logSeen[e] = true
+		if !dropped[e] && o.hasEdgeBase(e) {
+			continue
+		}
+		if dropped[e] {
+			delete(dropped, e) // re-added by the new body: net no-op
+			continue
+		}
+		added = append(added, e)
+	}
+
+	// 4. Invalidation: compute against the PRE-epoch state, before any
+	// adjacency is rebuilt, so flag flips are detected exactly.
+	touched := make(map[pag.MethodID]bool)
+	for _, m := range l.redefined {
+		touched[m] = true
+	}
+	flipped := make(map[pag.NodeID]bool)
+	markTouched := func(m pag.MethodID) {
+		if m != pag.NoMethod && int(m) < preMethods {
+			touched[m] = true
+		}
+	}
+	for _, e := range added {
+		if e.Kind.IsLocal() {
+			markTouched(o.nodeMethod(e.Src))
+			continue
+		}
+		// The flag checks read the pre-rebuild state, so several edges
+		// into one node all see the flip; flipped dedups the count per
+		// node (markTouched is idempotent anyway).
+		if int(e.Src) < preNodes && !o.HasGlobalOut(e.Src, false) {
+			flipped[e.Src] = true
+			markTouched(o.nodeMethod(e.Src))
+		}
+		if int(e.Dst) < preNodes && !o.HasGlobalIn(e.Dst, false) {
+			flipped[e.Dst] = true
+			markTouched(o.nodeMethod(e.Dst))
+		}
+		if o.methodNbrs != nil {
+			ms, md := o.nodeMethod(e.Src), o.nodeMethod(e.Dst)
+			if ms != pag.NoMethod && md != pag.NoMethod && ms != md {
+				o.linkMethods(ms, md)
+			}
+		}
+	}
+
+	// 5. Condensation repair, part 1: methods whose local edges changed
+	// lose their SCC collapse — a changed body voids the freeze-time
+	// cycle proof, so their nodes fall back to singleton representatives.
+	dissolvedThisEpoch := 0
+	var dissolved []pag.NodeID
+	localMethods := make(map[pag.MethodID]bool)
+	for _, m := range l.redefined {
+		localMethods[m] = true
+	}
+	for _, e := range added {
+		if e.Kind.IsLocal() {
+			if m := o.nodeMethod(e.Src); m != pag.NoMethod {
+				localMethods[m] = true
+			}
+		}
+	}
+	if !o.trivial {
+		for _, m := range sortedMethods(localMethods) {
+			if int(m) >= len(o.methodNodes) {
+				continue
+			}
+			for _, n := range o.methodNodes[m] {
+				r := o.rep[n]
+				members, ok := o.groups[r]
+				if !ok {
+					continue
+				}
+				for _, mb := range members {
+					o.rep[mb] = mb
+				}
+				dissolved = append(dissolved, members...)
+				delete(o.groups, r)
+				dissolvedThisEpoch++
+			}
+		}
+		o.dissolvedSCCs += dissolvedThisEpoch
+	}
+
+	// 6. Base-view patch set and rebuild: endpoints of every changed edge
+	// plus every added node (their adjacency exists only here).
+	patch := make(map[pag.NodeID]bool)
+	for e := range dropped {
+		patch[e.Src] = true
+		patch[e.Dst] = true
+	}
+	addedOut := make(map[pag.NodeID][]pag.Edge)
+	addedIn := make(map[pag.NodeID][]pag.Edge)
+	for _, e := range added {
+		patch[e.Src] = true
+		patch[e.Dst] = true
+		addedOut[e.Src] = append(addedOut[e.Src], e)
+		addedIn[e.Dst] = append(addedIn[e.Dst], e)
+	}
+	for i := range l.nodes {
+		patch[pag.NodeID(preNodes+i)] = true
+	}
+	for _, n := range sortedNodes(patch) {
+		o.rebuildBase(n, dropped, addedOut[n], addedIn[n])
+	}
+
+	// 7. Condensation repair, part 2: rebuild the condensed spans whose
+	// contents this epoch invalidated — the repaired representatives of
+	// every patched node and every node of a local-change method, plus
+	// the representatives global-edge-adjacent to dissolved members
+	// (their freeze-time spans name the old representatives).
+	rebuilt := 0
+	if !o.trivial {
+		condSet := make(map[pag.NodeID]bool)
+		for n := range patch {
+			condSet[o.rep[n]] = true
+		}
+		for m := range localMethods {
+			if m == pag.NoMethod || int(m) >= len(o.methodNodes) {
+				continue
+			}
+			for _, n := range o.methodNodes[m] {
+				condSet[o.rep[n]] = true
+			}
+		}
+		for _, d := range dissolved {
+			for _, e := range o.baseGlobalOut(d) {
+				condSet[o.rep[e.Dst]] = true
+			}
+			for _, e := range o.baseGlobalIn(d) {
+				condSet[o.rep[e.Src]] = true
+			}
+			// Local neighbours live in the same (dissolved) method and are
+			// already in condSet via the localMethods loop.
+		}
+		for _, r := range sortedNodes(condSet) {
+			o.rebuildCond(r)
+		}
+		rebuilt = len(condSet)
+		o.rebuiltReps += rebuilt
+	}
+
+	// 8. Bookkeeping and the epoch's report.
+	o.droppedEdges += len(dropped)
+	for n := range patch {
+		if m := o.nodeMethod(n); m != pag.NoMethod {
+			o.patchedMethods[m] = true
+		}
+	}
+	o.epoch++
+
+	st := ApplyStats{
+		Epoch:            o.epoch,
+		NewMethods:       len(l.methods),
+		NewCallSites:     len(l.callSites),
+		NewNodes:         len(l.nodes),
+		NewEdges:         len(added),
+		DroppedEdges:     len(dropped),
+		RedefinedMethods: len(l.redefined),
+		TouchedMethods:   sortedMethods(touched),
+		FlagFlips:        len(flipped),
+		DissolvedSCCs:    dissolvedThisEpoch,
+		RebuiltReps:      rebuilt,
+		OverlayFraction:  o.Fraction(),
+	}
+	// The sketch bound: methods adjacent (over global edges) to the
+	// touched set that a cascading invalidator would also have dropped.
+	deps := make(map[pag.MethodID]bool)
+	for _, m := range st.TouchedMethods {
+		for nb := range o.methodNbrs[m] {
+			if !touched[nb] {
+				deps[nb] = true
+			}
+		}
+	}
+	st.DependentMethods = len(deps)
+	return st, nil
+}
+
+// rebuildBase installs n's base-view replacement adjacency: current edges
+// minus dropped plus the epoch's additions, partition preserved. Order is
+// deterministic: surviving edges keep their relative order, added edges
+// append in log order within their partition half.
+func (o *Overlay) rebuildBase(n pag.NodeID, dropped map[pag.Edge]bool, addOut, addIn []pag.Edge) {
+	build := func(localCur, globalCur, adds []pag.Edge) (edges []pag.Edge, split int32) {
+		for _, e := range localCur {
+			if !dropped[e] {
+				edges = append(edges, e)
+			}
+		}
+		for _, e := range adds {
+			if e.Kind.IsLocal() {
+				edges = append(edges, e)
+			}
+		}
+		split = int32(len(edges))
+		for _, e := range globalCur {
+			if !dropped[e] {
+				edges = append(edges, e)
+			}
+		}
+		for _, e := range adds {
+			if e.Kind.IsGlobal() {
+				edges = append(edges, e)
+			}
+		}
+		return edges, split
+	}
+	var a patchAdj
+	a.out, a.outSplit = build(o.baseLocalOut(n), o.baseGlobalOut(n), addOut)
+	a.in, a.inSplit = build(o.baseLocalIn(n), o.baseGlobalIn(n), addIn)
+
+	if p := o.patchBase[n]; p >= 0 {
+		o.overlayEdges += len(a.out) - len(o.baseAdj[p].out)
+		o.baseAdj[p] = a
+		return
+	}
+	o.patchBase[n] = int32(len(o.baseAdj))
+	o.baseAdj = append(o.baseAdj, a)
+	o.overlayEdges += len(a.out)
+}
+
+// rebuildCond installs representative r's condensed-view adjacency: the
+// union of its surviving members' current base-view edges with endpoints
+// mapped through the repaired rep function, intra-SCC assign self-loops
+// removed and duplicates merged — exactly the freeze-time gather, run on
+// one representative.
+func (o *Overlay) rebuildCond(r pag.NodeID) {
+	members := o.groups[r]
+	if members == nil {
+		members = []pag.NodeID{r}
+	}
+	mapEdge := func(e pag.Edge) pag.Edge {
+		return pag.Edge{Src: o.rep[e.Src], Dst: o.rep[e.Dst], Kind: e.Kind, Label: e.Label}
+	}
+	gather := func(in bool) (edges []pag.Edge, split int32) {
+		var locals, globals []pag.Edge
+		for _, mb := range members {
+			var loc, glob []pag.Edge
+			if in {
+				loc, glob = o.baseLocalIn(mb), o.baseGlobalIn(mb)
+			} else {
+				loc, glob = o.baseLocalOut(mb), o.baseGlobalOut(mb)
+			}
+			for _, e := range loc {
+				me := mapEdge(e)
+				if me.Kind == pag.Assign && me.Src == me.Dst {
+					continue // collapsed cycle edge: a state-level no-op
+				}
+				locals = append(locals, me)
+			}
+			for _, e := range glob {
+				globals = append(globals, mapEdge(e))
+			}
+		}
+		locals = dedupEdges(locals)
+		globals = dedupEdges(globals)
+		edges = append(locals, globals...)
+		return edges, int32(len(locals))
+	}
+	var a patchAdj
+	a.out, a.outSplit = gather(false)
+	a.in, a.inSplit = gather(true)
+
+	if p := o.patchCond[r]; p >= 0 {
+		o.condAdj[p] = a
+		return
+	}
+	o.patchCond[r] = int32(len(o.condAdj))
+	o.condAdj = append(o.condAdj, a)
+}
+
+// Compact merges the overlay into a fresh, fully re-frozen (and
+// re-condensed) Graph carrying identical node/method/call-site IDs, so
+// cached query variables and result sets remain meaningful. The overlay
+// itself is left untouched; callers (the engine's auto-compaction) swap
+// the graph in and drop the overlay — and must also drop the summary
+// cache, because the fresh condensation may choose different
+// representatives.
+func (o *Overlay) Compact() (*pag.Graph, error) {
+	g := o.g
+	ng := pag.NewGraph()
+	for c := 0; c < g.NumClasses(); c++ {
+		ci := g.ClassInfo(pag.ClassID(c))
+		ng.AddClass(ci.Name, ci.Parent)
+	}
+	for f := 0; f < g.NumFields(); f++ {
+		ng.AddField(g.FieldName(pag.FieldID(f)))
+	}
+	for m := 0; m < o.NumMethods(); m++ {
+		mi := o.MethodInfo(pag.MethodID(m))
+		ng.AddMethod(mi.Name, mi.Class)
+	}
+	for cs := 0; cs < o.NumCallSites(); cs++ {
+		info := o.CallSiteInfo(pag.CallSiteID(cs))
+		id := ng.AddCallSite(info.Caller, info.Name)
+		for _, t := range info.Targets {
+			ng.AddCallTarget(id, t)
+		}
+	}
+	total := o.NumNodes()
+	for n := 0; n < total; n++ {
+		nd := o.Node(pag.NodeID(n))
+		ng.AddNode(nd.Kind, nd.Method, nd.Class, nd.Name)
+	}
+	for n := 0; n < total; n++ {
+		for _, e := range o.baseLocalOut(pag.NodeID(n)) {
+			ng.AddEdge(e)
+		}
+		for _, e := range o.baseGlobalOut(pag.NodeID(n)) {
+			ng.AddEdge(e)
+		}
+	}
+	ng.ResolveDerived()
+	if err := ng.Validate(); err != nil {
+		return nil, err
+	}
+	ng.Freeze()
+	return ng, nil
+}
+
+// dedupEdges sorts es by (Src, Dst, Kind, Label) and removes duplicates in
+// place (the freeze-time condensation's helper, local to this package).
+func dedupEdges(es []pag.Edge) []pag.Edge {
+	if len(es) < 2 {
+		return es
+	}
+	slices.SortFunc(es, func(a, b pag.Edge) int {
+		if c := cmp.Compare(a.Src, b.Src); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Dst, b.Dst); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Kind, b.Kind); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Label, b.Label)
+	})
+	return slices.Compact(es)
+}
+
+func sortedNodes(set map[pag.NodeID]bool) []pag.NodeID {
+	out := make([]pag.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortedMethods(set map[pag.MethodID]bool) []pag.MethodID {
+	out := make([]pag.MethodID, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -40,6 +40,12 @@ type BenchRecord struct {
 	// SummariesComputed counts PPTA runs (cache misses that actually
 	// traversed) during one operation; zero where not applicable.
 	SummariesComputed int64 `json:"summaries_computed,omitempty"`
+	// InvalidatedSummaries counts cached summaries dropped by targeted
+	// per-method invalidation during one operation (evolve workloads).
+	InvalidatedSummaries int64 `json:"invalidated_summaries,omitempty"`
+	// OverlayFraction is the delta overlay's final size as a fraction of
+	// the base graph's edge records (evolve overlay workloads).
+	OverlayFraction float64 `json:"overlay_fraction,omitempty"`
 }
 
 // BenchSnapshot is one full emitter run.
@@ -254,6 +260,68 @@ func RunBenchJSON(opts Options) BenchSnapshot {
 			})
 			snap.Records = append(snap.Records, record("warm-batch/bloat-cyclic/NullDeref/"+mode, opts.Scale, r))
 		}
+	}
+
+	// Dynamic evolution: the load-order replay, absorbed by the delta
+	// overlay on one live engine vs rebuilt from scratch at every wave.
+	// One op = the full replay (every wave's apply + the cumulative
+	// NullDeref batch after it); the rebuild op constructs and freezes
+	// every prefix and answers the same batches cold. The per-wave
+	// acceptance claim (overlay beats rebuild) is the ratio of these two
+	// records; invalidated_summaries and overlay_fraction carry the
+	// deterministic side.
+	for _, name := range benchgen.EvolveBenchmarks {
+		p := benchgen.ProfileByNameMust(name).Scaled(opts.Scale)
+		ev, err := benchgen.GenerateEvolve(p, opts.Seed, benchgen.DefaultEvolveWaves)
+		if err != nil {
+			panic(err)
+		}
+		dst := core.NewPointsToSet()
+		var invalidated int64
+		var frac float64
+		r := measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := core.NewDynSum(ev.Base.G, opts.config(), nil)
+				inv := 0
+				frac = 0
+				for k := 0; k < ev.NumWaves(); k++ {
+					if k > 0 {
+						res, err := ApplyWave(d, ev, k)
+						if err != nil {
+							b.Fatal(err)
+						}
+						inv += res.InvalidatedSummaries
+						frac = res.OverlayFraction
+					}
+					for _, q := range ev.DerefsThrough(k) {
+						d.PointsToInto(dst, q.Var)
+					}
+				}
+				invalidated = int64(inv)
+			}
+		})
+		rec := record("evolve/"+ev.Name+"/overlay", opts.Scale, r)
+		rec.InvalidatedSummaries = invalidated
+		rec.OverlayFraction = frac
+		snap.Records = append(snap.Records, rec)
+
+		r = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < ev.NumWaves(); k++ {
+					prefix, err := ev.BuildPrefix(k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					d := core.NewDynSum(prefix.G, opts.config(), nil)
+					for _, q := range ev.DerefsThrough(k) {
+						d.PointsToInto(dst, q.Var)
+					}
+				}
+			}
+		})
+		snap.Records = append(snap.Records, record("evolve/"+ev.Name+"/rebuild", opts.Scale, r))
 	}
 
 	// The batch engine on the Figure 4 strongest case, serial and

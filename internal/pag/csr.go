@@ -1,5 +1,7 @@
 package pag
 
+import "errors"
+
 // This file implements the frozen compressed-sparse-row (CSR) graph layout.
 //
 // A Graph starts life in builder form: per-node []Edge adjacency slices
@@ -87,11 +89,51 @@ func (g *Graph) Freeze() {
 // Frozen reports whether the graph has been compacted to the CSR layout.
 func (g *Graph) Frozen() bool { return g.frozen != nil }
 
-// mustBeMutable panics when the graph is frozen; AddNode/AddEdge call it so
-// a post-freeze mutation fails loudly instead of corrupting the CSR arrays
-// and the derived indexes.
-func (g *Graph) mustBeMutable(op string) {
-	if g.frozen != nil {
-		panic("pag: " + op + " on a frozen graph; Freeze() makes the PAG immutable — build a new graph for edits (or skip Freeze for incrementally edited PAGs)")
+// ErrFrozen is the sentinel condition of every post-freeze mutation panic:
+// the value raised by AddNode/AddEdge on a frozen Graph is a *FrozenError,
+// and errors.Is(recover().(error), ErrFrozen) identifies it. Freeze() makes
+// the PAG immutable; the supported way to keep growing a frozen program is
+// the delta path (internal/delta: record the change in a delta.Log and
+// apply it as an epoch overlay — dynsum.ApplyDelta at the facade), which
+// absorbs method-granular changes without thawing or rebuilding the CSR
+// layout. PAGs that need free-form edits should simply skip Freeze.
+var ErrFrozen = errors.New("pag: mutation of a frozen graph")
+
+// FrozenError is the panic value of a post-freeze AddNode/AddEdge: it
+// names the rejected operation and — as far as the arguments identify
+// them — the node and method involved, so the panic message of a misplaced
+// mutation points at the offending program element rather than just at the
+// graph. It wraps ErrFrozen.
+type FrozenError struct {
+	Op     string   // "AddNode" or "AddEdge"
+	Node   NodeID   // AddEdge: the edge's source; NoNode for AddNode
+	Method MethodID // enclosing method of the rejected element; NoMethod if unknown
+	Name   string   // node or method name, when resolvable
+}
+
+func (e *FrozenError) Error() string {
+	msg := "pag: " + e.Op + " on a frozen graph"
+	if e.Name != "" {
+		msg += " (" + e.Name + ")"
 	}
+	return msg + "; Freeze() made the PAG immutable — evolve it through the delta overlay (internal/delta, dynsum.ApplyDelta) or skip Freeze for free-form incremental edits"
+}
+
+// Unwrap ties FrozenError to the ErrFrozen sentinel for errors.Is.
+func (e *FrozenError) Unwrap() error { return ErrFrozen }
+
+// frozenPanic builds the FrozenError for op, resolving the best available
+// name: the method (and source node, for edges) the rejected element
+// belongs to.
+func (g *Graph) frozenPanic(op string, n NodeID, m MethodID) *FrozenError {
+	e := &FrozenError{Op: op, Node: n, Method: m}
+	if n != NoNode && int(n) < len(g.nodes) {
+		if nm := g.nodes[n].Method; nm != NoMethod {
+			e.Method = nm
+		}
+		e.Name = g.NodeString(n)
+	} else if m != NoMethod && int(m) < len(g.methods) {
+		e.Name = "method " + g.methods[m].Name
+	}
+	return e
 }

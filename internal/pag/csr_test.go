@@ -1,6 +1,7 @@
 package pag
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -93,21 +94,42 @@ func TestFrozenGraphPanicsOnMutation(t *testing.T) {
 	g.Freeze()
 	g.Freeze() // idempotent
 
-	mustPanic := func(op string, f func()) {
+	mustPanic := func(op string, f func()) *FrozenError {
 		t.Helper()
-		defer func() {
-			r := recover()
-			if r == nil {
-				t.Fatalf("%s on a frozen graph did not panic", op)
-			}
-			if msg, ok := r.(string); !ok || !strings.Contains(msg, "frozen") {
-				t.Fatalf("%s panic = %v, want a frozen-graph message", op, r)
-			}
+		var got *FrozenError
+		func() {
+			defer func() {
+				t.Helper()
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s on a frozen graph did not panic", op)
+				}
+				fe, ok := r.(*FrozenError)
+				if !ok {
+					t.Fatalf("%s panic = %v (%T), want *FrozenError", op, r, r)
+				}
+				if !errors.Is(fe, ErrFrozen) {
+					t.Fatalf("%s panic does not wrap ErrFrozen", op)
+				}
+				if fe.Op != op || !strings.Contains(fe.Error(), "frozen") {
+					t.Fatalf("%s panic = %v, want op %q in a frozen-graph message", op, fe, op)
+				}
+				got = fe
+			}()
+			f()
 		}()
-		f()
+		return got
 	}
-	mustPanic("AddNode", func() { g.AddNode(Local, 0, NoClass, "z") })
-	mustPanic("AddEdge", func() { g.AddEdge(Edge{Src: v, Dst: v, Kind: Assign, Label: NoLabel}) })
+	if fe := mustPanic("AddNode", func() { g.AddNode(Local, 0, NoClass, "z") }); fe.Method != 0 {
+		t.Errorf("AddNode FrozenError.Method = %d, want 0", fe.Method)
+	}
+	fe := mustPanic("AddEdge", func() { g.AddEdge(Edge{Src: v, Dst: v, Kind: Assign, Label: NoLabel}) })
+	if fe.Node != v {
+		t.Errorf("AddEdge FrozenError.Node = %d, want %d", fe.Node, v)
+	}
+	if !strings.Contains(fe.Error(), g.NodeString(v)) {
+		t.Errorf("AddEdge FrozenError message %q does not name node %s", fe.Error(), g.NodeString(v))
+	}
 }
 
 func TestFrozenHasEdgeAndLayout(t *testing.T) {

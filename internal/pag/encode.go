@@ -120,17 +120,7 @@ func Decode(r io.Reader) (*Program, error) {
 		return nil, err
 	}
 	// Re-intern derived identifiers present in the tables.
-	for i, f := range g.fields {
-		g.fieldIndex[f] = FieldID(i)
-		if f == "arr" {
-			g.arrayField = FieldID(i)
-		}
-	}
-	for i, c := range g.classes {
-		if c.Name == "Null" {
-			g.nullClass = ClassID(i)
-		}
-	}
+	g.ResolveDerived()
 	// A decoded program is complete by definition: compact it to the CSR
 	// layout so queries start on the fast path.
 	g.Freeze()

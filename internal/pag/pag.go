@@ -475,9 +475,13 @@ func (g *Graph) AddCallTarget(cs CallSiteID, m MethodID) {
 	g.callSites[cs].Targets = append(g.callSites[cs].Targets, m)
 }
 
-// AddNode appends a node and returns its ID. It panics on a frozen graph.
+// AddNode appends a node and returns its ID. On a frozen graph it panics
+// with a *FrozenError (wrapping ErrFrozen) naming the target method; use
+// the delta overlay (internal/delta) to grow a frozen graph.
 func (g *Graph) AddNode(kind NodeKind, method MethodID, class ClassID, name string) NodeID {
-	g.mustBeMutable("AddNode")
+	if g.frozen != nil {
+		panic(g.frozenPanic("AddNode", NoNode, method))
+	}
 	g.nodes = append(g.nodes, Node{Kind: kind, Method: method, Class: class, Name: name})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
@@ -505,9 +509,13 @@ func insertPartitioned(adj *[]Edge, split *int32, e Edge) {
 // AddEdge inserts e unless an identical edge already exists. It returns
 // true if the edge was new. Duplicate suppression matters because the
 // Andersen call-graph construction re-discovers call targets repeatedly.
-// It panics on a frozen graph.
+// On a frozen graph it panics with a *FrozenError (wrapping ErrFrozen)
+// naming the edge's source node and method; use the delta overlay
+// (internal/delta) to grow a frozen graph.
 func (g *Graph) AddEdge(e Edge) bool {
-	g.mustBeMutable("AddEdge")
+	if g.frozen != nil {
+		panic(g.frozenPanic("AddEdge", e.Src, NoMethod))
+	}
 	if _, dup := g.edgeSet[e]; dup {
 		return false
 	}
@@ -560,6 +568,31 @@ func (g *Graph) NullClass() ClassID {
 	}
 	return g.nullClass
 }
+
+// ResolveDerived re-interns the distinguished identifiers the mutators
+// normally intern on demand — the field-name index, the "arr" array field
+// and the "Null" class — from the symbol tables. Construction paths that
+// copy tables wholesale (the PAG decoder, the delta overlay's Compact)
+// call it so ArrayField and IsNullObject keep working on the copy without
+// duplicating entries. Idempotent.
+func (g *Graph) ResolveDerived() {
+	for i, f := range g.fields {
+		g.fieldIndex[f] = FieldID(i)
+		if f == "arr" {
+			g.arrayField = FieldID(i)
+		}
+	}
+	for i, c := range g.classes {
+		if c.Name == "Null" {
+			g.nullClass = ClassID(i)
+		}
+	}
+}
+
+// NullClassID returns the class of null objects without interning it:
+// NoClass when the graph models no nulls. Metadata-only readers (the delta
+// overlay) use this instead of NullClass, which mutates on first use.
+func (g *Graph) NullClassID() ClassID { return g.nullClass }
 
 // IsNullObject reports whether n is a null object.
 func (g *Graph) IsNullObject(n NodeID) bool {
