@@ -1,0 +1,53 @@
+GO  ?= go
+PKG := ./...
+
+BENCH_TIME ?= 2s
+FUZZ_TIME  ?= 30s
+
+.PHONY: all
+all: build test lint
+
+.PHONY: build
+build:
+	$(GO) build $(PKG)
+
+.PHONY: fmt
+fmt:
+	$(GO) fmt $(PKG)
+
+.PHONY: vet
+vet:
+	$(GO) vet $(PKG)
+
+.PHONY: test
+test:
+	$(GO) test $(PKG)
+
+.PHONY: test-short
+test-short:
+	$(GO) test -short $(PKG)
+
+.PHONY: test-race
+test-race:
+	$(GO) test -race -short $(PKG)
+
+# lint = go vet + the repository's own invariant firewall (cmd/dynsumlint).
+.PHONY: lint
+lint:
+	./scripts/lint.sh
+
+# fuzz smokes the native fuzz targets over the validator stack for
+# FUZZ_TIME each; the committed seed corpora replay in plain `make test`.
+.PHONY: fuzz
+fuzz:
+	$(GO) test ./internal/check -fuzz FuzzFreezeValidate -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/check -fuzz FuzzDeltaApplyValidate -fuzztime $(FUZZ_TIME)
+
+.PHONY: bench
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) $(PKG)
+
+.PHONY: clean
+clean:
+	rm -rf bin
+	$(GO) clean -testcache

@@ -8,6 +8,7 @@
 //	pagstat prog.mj
 //	pagstat bench.pag
 //	pagstat -dot prog.mj > prog.dot
+//	pagstat -validate prog.mj                # deep structural validation
 //	pagstat -bench [-scale 0.02] [-seed 1]   # condensation stats per benchmark
 package main
 
@@ -19,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"dynsum/internal/benchgen"
+	"dynsum/internal/check"
 	"dynsum/internal/clients"
 	"dynsum/internal/core"
 	"dynsum/internal/delta"
@@ -29,6 +31,7 @@ import (
 
 func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	validate := flag.Bool("validate", false, "run the internal/check structural validators on the input and exit non-zero on violations")
 	bench := flag.Bool("bench", false, "report condensation stats for every benchmark profile (incl. cyclic variants)")
 	scale := flag.Float64("scale", 0.02, "benchmark scale factor for -bench")
 	seed := flag.Int64("seed", 1, "generator seed for -bench")
@@ -56,6 +59,10 @@ func main() {
 		}
 		return
 	}
+	if *validate {
+		validateProgram(prog)
+		return
+	}
 	s := prog.G.Stats()
 	fmt.Printf("program: %s\n%s\n%s\n", prog.Name, s, prog.G.Layout())
 	if prog.G.Frozen() {
@@ -63,6 +70,40 @@ func main() {
 	}
 	fmt.Printf("call sites: %d\nquery sites: %d casts, %d derefs, %d factories\n",
 		prog.G.NumCallSites(), len(prog.Casts), len(prog.Derefs), len(prog.Factories))
+}
+
+// validateProgram runs the deep structural validators over the loaded
+// program: the graph invariants in its loaded form, then — after
+// freezing, which decoded/compiled programs arrive without — the frozen
+// layout and its condensation. Violations are reported with node and
+// method names and exit non-zero, so the flag doubles as a regression
+// gate for externally produced .pag files.
+func validateProgram(prog *pag.Program) {
+	fail := false
+	report := func(stage string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pagstat: %s:\n%v\n", stage, err)
+			fail = true
+		} else {
+			fmt.Printf("%s: ok\n", stage)
+		}
+	}
+	report("graph ("+form(prog.G)+")", check.Graph(prog.G))
+	if !prog.G.Frozen() {
+		prog.G.Freeze()
+		report("graph (frozen)", check.Graph(prog.G))
+	}
+	report("condensation", check.Condensation(prog.G, prog.G.Condensation()))
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func form(g *pag.Graph) string {
+	if g.Frozen() {
+		return "frozen"
+	}
+	return "builder"
 }
 
 // benchStats renders the per-benchmark condensation and memoisation table:

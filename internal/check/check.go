@@ -1,0 +1,65 @@
+// Package check implements deep structural validators for the graph
+// stack: the frozen CSR layout (Graph), the SCC condensation
+// (Condensation), the epoch delta overlay (Overlay) and the engine-side
+// summary cache (Cache). The validators re-derive each representation
+// invariant from first principles — they never trust the accessors they
+// are auditing beyond the raw spans — and report every violation they
+// find (capped), naming the offending node or method.
+//
+// They are meant to be called from tests, fuzz targets and tools
+// (pagstat -validate); they are O(E log E)-ish and allocate freely, so
+// keep them off production query paths. The companion compile-time layer
+// is cmd/dynsumlint (internal/lint), which polices the coding rules that
+// keep these invariants true; DESIGN.md §11 maps each invariant to the
+// layer that enforces it.
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"dynsum/internal/pag"
+)
+
+// maxViolations caps how many violations one validator call collects
+// before giving up: enough to see the shape of a corruption, not enough
+// to drown a test log when an offset array is shifted by one.
+const maxViolations = 20
+
+// reporter accumulates violations up to the cap.
+type reporter struct {
+	errs    []error
+	dropped int
+}
+
+func (r *reporter) errorf(format string, args ...any) {
+	if len(r.errs) >= maxViolations {
+		r.dropped++
+		return
+	}
+	r.errs = append(r.errs, fmt.Errorf(format, args...))
+}
+
+func (r *reporter) full() bool { return len(r.errs) >= maxViolations }
+
+func (r *reporter) err() error {
+	if r.dropped > 0 {
+		r.errs = append(r.errs, fmt.Errorf("check: %d further violations suppressed", r.dropped))
+	}
+	return errors.Join(r.errs...)
+}
+
+// namer is the naming surface shared by every validated view.
+type namer interface {
+	NumNodes() int
+	NodeString(n pag.NodeID) string
+}
+
+// nodeName resolves n to a diagnostic name, tolerating the out-of-range
+// IDs corrupt edges carry (the violation itself is reported separately).
+func nodeName(v namer, n pag.NodeID) string {
+	if n < 0 || int(n) >= v.NumNodes() {
+		return fmt.Sprintf("node(%d)", n)
+	}
+	return v.NodeString(n)
+}

@@ -1,0 +1,61 @@
+package check
+
+import (
+	"dynsum/internal/pag"
+)
+
+// FNV-1a over 64-bit words, matching the parameters used elsewhere in
+// the tree so fingerprints are stable and cheap.
+const (
+	fnvOffset uint64 = 0xcbf29ce484222325
+	fnvPrime  uint64 = 0x100000001b3
+)
+
+func fnvWord(h, w uint64) uint64 {
+	h ^= w & 0xffffffff
+	h *= fnvPrime
+	h ^= w >> 32
+	h *= fnvPrime
+	return h
+}
+
+// Fingerprint hashes the full adjacency representation of g — every span
+// in order, every edge, and the per-node flags. Capture it on the frozen
+// base before applying deltas; Overlay re-hashes and any write into the
+// shared base arrays (the overlay contract says there must never be one)
+// changes the value. Never zero, so 0 can mean "skip" to Overlay.
+func Fingerprint(g GraphData) uint64 {
+	h := fnvOffset
+	n := g.NumNodes()
+	h = fnvWord(h, uint64(n))
+	spans := [4]func(pag.NodeID) []pag.Edge{g.LocalOut, g.GlobalOut, g.LocalIn, g.GlobalIn}
+	for i := 0; i < n; i++ {
+		nd := pag.NodeID(i)
+		for _, span := range spans {
+			es := span(nd)
+			h = fnvWord(h, uint64(len(es)))
+			for _, e := range es {
+				h = fnvWord(h, uint64(uint32(e.Src))<<32|uint64(uint32(e.Dst)))
+				h = fnvWord(h, uint64(e.Kind)<<32|uint64(uint32(e.Label)))
+			}
+		}
+		var fl uint64
+		if g.HasLocalIn(nd) {
+			fl |= 1
+		}
+		if g.HasLocalOut(nd) {
+			fl |= 2
+		}
+		if g.HasGlobalIn(nd) {
+			fl |= 4
+		}
+		if g.HasGlobalOut(nd) {
+			fl |= 8
+		}
+		h = fnvWord(h, fl)
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

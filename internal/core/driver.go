@@ -82,6 +82,7 @@ type graphView struct {
 	ov   *delta.Overlay
 }
 
+//lint:allow viewaware graphView IS the sanctioned raw-accessor layer
 func (v graphView) localIn(n pag.NodeID) []pag.Edge {
 	if v.ov != nil {
 		return v.ov.LocalIn(n, v.cond != nil)
@@ -92,6 +93,7 @@ func (v graphView) localIn(n pag.NodeID) []pag.Edge {
 	return v.g.LocalIn(n)
 }
 
+//lint:allow viewaware graphView IS the sanctioned raw-accessor layer
 func (v graphView) localOut(n pag.NodeID) []pag.Edge {
 	if v.ov != nil {
 		return v.ov.LocalOut(n, v.cond != nil)
@@ -102,6 +104,7 @@ func (v graphView) localOut(n pag.NodeID) []pag.Edge {
 	return v.g.LocalOut(n)
 }
 
+//lint:allow viewaware graphView IS the sanctioned raw-accessor layer
 func (v graphView) globalIn(n pag.NodeID) []pag.Edge {
 	if v.ov != nil {
 		return v.ov.GlobalIn(n, v.cond != nil)
@@ -112,6 +115,7 @@ func (v graphView) globalIn(n pag.NodeID) []pag.Edge {
 	return v.g.GlobalIn(n)
 }
 
+//lint:allow viewaware graphView IS the sanctioned raw-accessor layer
 func (v graphView) globalOut(n pag.NodeID) []pag.Edge {
 	if v.ov != nil {
 		return v.ov.GlobalOut(n, v.cond != nil)
@@ -122,6 +126,7 @@ func (v graphView) globalOut(n pag.NodeID) []pag.Edge {
 	return v.g.GlobalOut(n)
 }
 
+//lint:allow viewaware graphView IS the sanctioned raw-accessor layer
 func (v graphView) hasGlobalIn(n pag.NodeID) bool {
 	if v.ov != nil {
 		return v.ov.HasGlobalIn(n, v.cond != nil)
@@ -132,6 +137,7 @@ func (v graphView) hasGlobalIn(n pag.NodeID) bool {
 	return v.g.HasGlobalIn(n)
 }
 
+//lint:allow viewaware graphView IS the sanctioned raw-accessor layer
 func (v graphView) hasGlobalOut(n pag.NodeID) bool {
 	if v.ov != nil {
 		return v.ov.HasGlobalOut(n, v.cond != nil)
@@ -142,6 +148,7 @@ func (v graphView) hasGlobalOut(n pag.NodeID) bool {
 	return v.g.HasGlobalOut(n)
 }
 
+//lint:allow viewaware graphView IS the sanctioned raw-accessor layer
 func (v graphView) hasLocalEdges(n pag.NodeID) bool {
 	if v.ov != nil {
 		return v.ov.HasLocalEdges(n, v.cond != nil)

@@ -242,6 +242,7 @@ func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *
 	gv := sc.gv // resolved once per query by the driver
 	n = gv.rep(n)
 	if !gv.hasLocalEdges(n) {
+		//lint:allow scratchpin identity view is consumed before the next Summarize call
 		return Summary{Frontier: sc.Identity(n, fs, st)}, false, nil
 	}
 	key := pptaState{node: n, fs: fs, st: st}

@@ -87,11 +87,7 @@ func (t *resultIntern) objects(s []pag.NodeID) []pag.NodeID {
 	if len(s) == 0 {
 		return s
 	}
-	h := uint64(fnvOffset)
-	h = fnvWord(h, uint64(len(s)))
-	for _, n := range s {
-		h = fnvWord(h, uint64(uint32(n)))
-	}
+	h := hashObjects(s)
 	sh := &t.shards[h&(internShards-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -117,12 +113,7 @@ func (t *resultIntern) frontiers(s []FrontierState) []FrontierState {
 	if len(s) == 0 {
 		return s
 	}
-	h := uint64(fnvOffset)
-	h = fnvWord(h, uint64(len(s)))
-	for _, f := range s {
-		h = fnvWord(h, uint64(uint32(f.Node))<<32|uint64(uint32(f.Fs)))
-		h = fnvWord(h, uint64(f.St))
-	}
+	h := hashFrontiers(s)
 	sh := &t.shards[h&(internShards-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

@@ -154,6 +154,8 @@ func fkey(f FrontierState) uint64 {
 // slices. Arena-backed views are resolved against the current arena, so
 // they remain correct across arena growth; they are read-only and valid
 // until the Scratch is reset.
+//
+//lint:allow scratchpin deliberate arena views; read-only, reset-bounded lifetime
 func (sc *Scratch) resultViews(r int32) ([]pag.NodeID, []FrontierState) {
 	mr := &sc.mres[r]
 	if mr.cached != nil {
@@ -535,5 +537,7 @@ func runPPTAMemo(gv graphView, fields *intstack.Table, cache *summaryCache, star
 
 	objs, frs := sc.resultViews(sc.mstates[rootIdx].result)
 	sc.dropMemoRefs()
+	// The views are consumed by the driver before the next PPTA run;
+	//lint:allow scratchpin summary views are copied before caching (write-back hash-conses)
 	return Summary{Objects: objs, Frontier: frs}, nil
 }

@@ -560,6 +560,8 @@ func (sc *Scratch) pushPPTA(s pptaState) {
 // scratch and is valid only until the next Identity call on the same
 // Scratch — the driver consumes each Summary before requesting the next,
 // which is exactly that lifetime.
+//
+//lint:allow scratchpin deliberate zero-alloc view; lifetime documented above
 func (sc *Scratch) Identity(n pag.NodeID, fs intstack.ID, st State) []FrontierState {
 	sc.idBuf[0] = FrontierState{Node: n, Fs: fs, St: st}
 	return sc.idBuf[:1]

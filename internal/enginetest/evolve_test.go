@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dynsum/internal/benchgen"
+	"dynsum/internal/check"
 	"dynsum/internal/core"
 	"dynsum/internal/fixture"
 	"dynsum/internal/intstack"
@@ -51,6 +52,9 @@ func replayEquivalence(t *testing.T, tag string, ev *benchgen.EvolveProgram,
 		d.DisableCache = v.disableCache
 		engines[i] = d
 	}
+	// Structural firewall: the overlay must keep the frozen base arrays
+	// byte-untouched across every epoch; fingerprint them once, post-freeze.
+	baseFP := check.Fingerprint(ev.Base.G)
 
 	for k := 0; k < ev.NumWaves(); k++ {
 		if k > 0 {
@@ -64,6 +68,14 @@ func replayEquivalence(t *testing.T, tag string, ev *benchgen.EvolveProgram,
 				}
 				if _, err := d.ApplyDelta(log); err != nil {
 					t.Fatalf("%s wave %d %s: ApplyDelta: %v", tag, k, evolveVariants[i].name, err)
+				}
+				if ov := d.Overlay(); ov != nil {
+					if err := check.Overlay(ov, ev.Base.G, baseFP); err != nil {
+						t.Fatalf("%s wave %d %s: overlay validation: %v", tag, k, evolveVariants[i].name, err)
+					}
+				}
+				if err := check.Cache(d); err != nil {
+					t.Fatalf("%s wave %d %s: cache validation: %v", tag, k, evolveVariants[i].name, err)
 				}
 			}
 		}
@@ -456,6 +468,18 @@ func TestEvolveAutoCompact(t *testing.T) {
 		}
 		if d.Overlay() != nil {
 			t.Fatal("overlay survived compaction")
+		}
+		// The compacted graph is a fresh frozen CSR: it must satisfy every
+		// structural invariant from scratch, condensation included.
+		g := d.Graph()
+		if err := check.Graph(g); err != nil {
+			t.Fatalf("wave %d: compacted graph: %v", k, err)
+		}
+		if err := check.Condensation(g, g.Condensation()); err != nil {
+			t.Fatalf("wave %d: compacted condensation: %v", k, err)
+		}
+		if err := check.Cache(d); err != nil {
+			t.Fatalf("wave %d: post-compact cache: %v", k, err)
 		}
 	}
 	if got := d.Compactions(); got != ev.NumWaves()-1 {

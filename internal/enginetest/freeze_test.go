@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"dynsum/internal/check"
 	"dynsum/internal/core"
 	"dynsum/internal/fixture"
 	"dynsum/internal/intstack"
@@ -91,6 +92,18 @@ func TestFrozenAdjacencyMatchesBuilderForm(t *testing.T) {
 		}
 		checkPartition(t, mut.G, fmt.Sprintf("seed %d builder", seed))
 		checkPartition(t, frz.G, fmt.Sprintf("seed %d frozen", seed))
+		// Deep structural validation of both forms, plus the freeze-time
+		// condensation (internal/check is the full-invariant superset of
+		// the spot checks above).
+		if err := check.Graph(mut.G); err != nil {
+			t.Fatalf("seed %d builder: %v", seed, err)
+		}
+		if err := check.Graph(frz.G); err != nil {
+			t.Fatalf("seed %d frozen: %v", seed, err)
+		}
+		if err := check.Condensation(frz.G, frz.G.Condensation()); err != nil {
+			t.Fatalf("seed %d condensation: %v", seed, err)
+		}
 		if mut.G.NumNodes() != frz.G.NumNodes() || mut.G.NumEdges() != frz.G.NumEdges() {
 			t.Fatalf("seed %d: node/edge counts diverge", seed)
 		}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// frozenmutPass enforces the frozen-graph contract: once a *pag.Graph
+// has been frozen — by calling Freeze on it or by obtaining it from
+// Builder.Finish — no structural mutator may be called on it. Frozen
+// graphs are shared immutable state (the delta overlay fingerprints
+// their arrays); post-freeze mutation corrupts every reader.
+//
+// The analysis is per-function and positional: a graph expression
+// becomes frozen at the source position of its Freeze call or its
+// assignment from Finish, and any AddNode/AddEdge-family call on the
+// same expression at a later position is reported. Aliases through
+// simple assignment (h := g) are followed. The packages that own the
+// freeze/evolve machinery — pag itself and delta — are exempt: rebuild
+// and compaction legitimately construct successor graphs.
+type frozenmutPass struct{}
+
+func (frozenmutPass) Name() string { return "frozenmut" }
+func (frozenmutPass) Doc() string {
+	return "no structural mutation of a *pag.Graph after Freeze()/Builder.Finish()"
+}
+
+func (frozenmutPass) AppliesTo(pkgName, pkgPath string) bool {
+	return pkgName != "pag" && pkgName != "delta"
+}
+
+// graphMutators are the structural mutators of pag.Graph.
+var graphMutators = map[string]bool{
+	"AddNode":       true,
+	"AddEdge":       true,
+	"AddMethod":     true,
+	"AddClass":      true,
+	"AddField":      true,
+	"AddCallSite":   true,
+	"AddCallTarget": true,
+}
+
+func (frozenmutPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, frozenmutFunc(u, fn)...)
+		}
+	}
+	return out
+}
+
+func frozenmutFunc(u *Unit, fn *ast.FuncDecl) []Diagnostic {
+	// frozen maps a graph expression key to the position where it froze.
+	frozen := map[string]token.Pos{}
+	var out []Diagnostic
+
+	// First sweep: record freeze events. Ordering is by source position,
+	// which over-approximates control flow; intentional post-freeze
+	// mutation (there is none in this tree) would use //lint:allow.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := u.Info.TypeOf(sel.X)
+			if recv == nil {
+				return true
+			}
+			if sel.Sel.Name == "Freeze" && isNamed(recv, pagPath, "Graph") {
+				if key := exprString(u, sel.X); key != "" {
+					if _, seen := frozen[key]; !seen {
+						frozen[key] = n.Pos()
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// g, err := b.Finish() — the first result is born frozen.
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Finish" {
+						if t := u.Info.TypeOf(sel.X); t != nil && isNamed(t, pagPath, "Builder") {
+							if key := exprString(u, n.Lhs[0]); key != "" {
+								if _, seen := frozen[key]; !seen {
+									frozen[key] = n.Pos()
+								}
+							}
+						}
+					}
+				}
+			}
+			// Alias propagation h := g where g is already frozen; the
+			// alias inherits the original freeze position.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					key := exprString(u, n.Lhs[i])
+					if key == "" {
+						continue
+					}
+					if rkey := exprString(u, rhs); rkey != "" {
+						if at, ok := frozen[rkey]; ok {
+							if _, seen := frozen[key]; !seen {
+								frozen[key] = at
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if len(frozen) == 0 {
+		return nil
+	}
+
+	// Second sweep: flag mutators called on a frozen expression at a
+	// position after its freeze event.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !graphMutators[sel.Sel.Name] {
+			return true
+		}
+		recv := u.Info.TypeOf(sel.X)
+		if recv == nil || !isNamed(recv, pagPath, "Graph") {
+			return true
+		}
+		key := exprString(u, sel.X)
+		at, isFrozen := frozen[key]
+		if key == "" || !isFrozen || call.Pos() <= at {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Pos:  u.Fset.Position(call.Pos()),
+			Pass: "frozenmut",
+			Message: fmt.Sprintf("%s called on a graph frozen at line %d — frozen graphs are immutable; evolve through a delta log instead",
+				sel.Sel.Name, u.Fset.Position(at).Line),
+		})
+		return true
+	})
+	return out
+}

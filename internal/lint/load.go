@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// Load expands patterns (e.g. "./...") with `go list` and returns one
+// type-checked Unit per package. dir must be inside the module — the
+// source importer resolves module-path imports relative to it. Test
+// files are excluded: the firewall guards production code, and tests
+// legitimately poke internals (corrupting graphs is their job).
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	// One importer for every unit: it memoises type-checked dependencies,
+	// so the whole tree is checked roughly once instead of once per
+	// dependent.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var units []*Unit
+	for _, p := range pkgs {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		u, err := check(fset, imp, p.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Path < units[j].Path })
+	return units, nil
+}
+
+// LoadDir type-checks every non-test .go file directly under dir as one
+// package with the synthetic import path pkgPath. Used for the testdata
+// corpora, which go tooling ignores by convention.
+func LoadDir(dir, pkgPath string) (*Unit, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			files = append(files, filepath.Join(dir, n))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return check(fset, imp, pkgPath, files)
+}
+
+// check parses and type-checks one file set as a package.
+func check(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*Unit, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{
+		Name:  pkg.Name(),
+		Path:  path,
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+	}, nil
+}
+
+// goList runs `go list -json` over the patterns in dir.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// metricsdirectPass enforces the metrics discipline: core.Metrics
+// counter fields are concurrently updated with sync/atomic (hot-path
+// counts are batched in the Scratch and flushed once per query), so a
+// plain write (m.Queries++, m.Failed = 0) is a data race, and taking a
+// field's address anywhere but directly inside an atomic call lets the
+// address escape to non-atomic use. Methods on Metrics itself are exempt
+// — Snapshot/Add/String define the by-value access discipline and
+// document their own safety.
+type metricsdirectPass struct{}
+
+func (metricsdirectPass) Name() string { return "metricsdirect" }
+func (metricsdirectPass) Doc() string {
+	return "Metrics counters only via sync/atomic or batched scratch counters, never plain writes"
+}
+
+func (metricsdirectPass) AppliesTo(pkgName, pkgPath string) bool { return true }
+
+func (metricsdirectPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if recv := funcRecv(u, fn); recv != nil {
+				obj := recv.Obj()
+				if obj.Name() == "Metrics" && obj.Pkg() != nil && obj.Pkg().Path() == corePath {
+					continue
+				}
+			}
+			out = append(out, metricsdirectFunc(u, fn)...)
+		}
+	}
+	return out
+}
+
+func metricsdirectFunc(u *Unit, fn *ast.FuncDecl) []Diagnostic {
+	// Addresses handed directly to a sync/atomic call are the sanctioned
+	// access path; collect those nodes first.
+	sanctioned := map[*ast.UnaryExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(u, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				sanctioned[ue] = true
+			}
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	flagWrite := func(e ast.Expr, verb string) {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			if name, ok := metricsField(u, sel); ok {
+				out = append(out, Diagnostic{
+					Pos:  u.Fset.Position(e.Pos()),
+					Pass: "metricsdirect",
+					Message: fmt.Sprintf("%s of Metrics counter %s — counters are updated atomically elsewhere; "+
+						"use sync/atomic, or batch in the Scratch and flush once per query", verb, name),
+				})
+			}
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				flagWrite(l, "plain write")
+			}
+		case *ast.IncDecStmt:
+			flagWrite(n.X, "plain increment")
+		case *ast.UnaryExpr:
+			if n.Op != token.AND || sanctioned[n] {
+				return true
+			}
+			if sel, ok := n.X.(*ast.SelectorExpr); ok {
+				if name, ok := metricsField(u, sel); ok {
+					out = append(out, Diagnostic{
+						Pos:  u.Fset.Position(n.Pos()),
+						Pass: "metricsdirect",
+						Message: fmt.Sprintf("address of Metrics counter %s escapes an atomic call — "+
+							"pass &m.%s directly to sync/atomic instead", name, name),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// metricsField reports whether sel selects a field of core.Metrics and
+// returns the field name.
+func metricsField(u *Unit, sel *ast.SelectorExpr) (string, bool) {
+	base := u.Info.TypeOf(sel.X)
+	if base == nil || !isNamed(base, corePath, "Metrics") {
+		return "", false
+	}
+	if s, ok := u.Info.Selections[sel]; ok && s.Kind() != types.FieldVal {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isAtomicCall reports whether call invokes a function from sync/atomic.
+func isAtomicCall(u *Unit, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := u.Info.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

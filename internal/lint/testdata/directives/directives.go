@@ -1,0 +1,15 @@
+// Corpus for directive validation: malformed //lint:allow forms are
+// themselves diagnostics (pseudo-pass "lint"). Expectations live in
+// TestMalformedDirectives — markers cannot ride these lines because the
+// marker would become part of the directive comment itself.
+package directives
+
+import "dynsum/internal/pag"
+
+func badDirectives(g *pag.Graph) {
+	g.Freeze()
+	//lint:allow
+	//lint:allow nosuchpass because
+	//lint:allow frozenmut
+	_ = g.NumNodes()
+}

@@ -1,0 +1,47 @@
+// Seeded-violation corpus for the frozenmut pass: structural mutation
+// of a *pag.Graph after it froze. Marked lines must be reported;
+// everything else must stay silent.
+package frozen
+
+import "dynsum/internal/pag"
+
+func mutateAfterFreeze(g *pag.Graph, n pag.NodeID) {
+	g.Freeze()
+	g.AddEdge(pag.Edge{Src: n, Dst: n, Kind: pag.Load, Label: 0}) // want "frozen at line"
+}
+
+func mutateFinished(b *pag.Builder) {
+	g, err := b.Finish()
+	if err != nil {
+		return
+	}
+	g.AddMethod("late", pag.NoClass) // want "frozen at line"
+}
+
+func aliasFrozen(g *pag.Graph) {
+	g.Freeze()
+	h := g
+	h.AddClass("C", pag.NoClass) // want "frozen at line"
+}
+
+func buildThenFreeze(g *pag.Graph) {
+	// Mutation before the freeze is the normal construction sequence.
+	m := g.AddMethod("m", pag.NoClass)
+	v := g.AddNode(pag.Local, m, pag.NoClass, "v")
+	o := g.AddNode(pag.Object, m, pag.NoClass, "o")
+	g.AddEdge(pag.Edge{Src: o, Dst: v, Kind: pag.New, Label: pag.NoLabel})
+	g.Freeze()
+	_ = g.NumNodes()
+}
+
+func freshGraphElsewhere(g, other *pag.Graph) {
+	// Freezing one graph must not taint an unrelated one.
+	g.Freeze()
+	other.AddField("f")
+}
+
+func allowedPostFreeze(g *pag.Graph) {
+	g.Freeze()
+	//lint:allow frozenmut exercising the directive escape hatch
+	g.AddField("f")
+}

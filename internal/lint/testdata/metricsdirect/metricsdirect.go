@@ -1,0 +1,43 @@
+// Seeded-violation corpus for the metricsdirect pass: plain writes to
+// core.Metrics counters and counter addresses escaping atomic calls.
+package metricsuse
+
+import (
+	"sync/atomic"
+
+	"dynsum/internal/core"
+)
+
+func plainIncrement(m *core.Metrics) {
+	m.Queries++ // want "plain increment of Metrics counter Queries"
+}
+
+func plainWrite(m *core.Metrics) {
+	m.Failed = 0 // want "plain write of Metrics counter Failed"
+}
+
+func plainAccumulate(m *core.Metrics, n int64) {
+	m.EdgesTraversed += n // want "plain write of Metrics counter EdgesTraversed"
+}
+
+func escapedAddress(m *core.Metrics) *int64 {
+	p := &m.CacheHits // want "address of Metrics counter CacheHits escapes an atomic call"
+	return p
+}
+
+// The sanctioned paths: addresses consumed directly by sync/atomic, and
+// plain reads of a by-value snapshot.
+func atomicUpdate(m *core.Metrics) {
+	atomic.AddInt64(&m.Queries, 1)
+	atomic.StoreInt64(&m.Failed, 0)
+}
+
+func snapshotRead(m *core.Metrics) int64 {
+	s := m.Snapshot()
+	return s.Queries + s.CacheMisses
+}
+
+func allowedWrite(m *core.Metrics) {
+	//lint:allow metricsdirect exercising the directive escape hatch
+	m.Summaries = 1
+}

@@ -1,0 +1,50 @@
+// Seeded-violation corpus for the scratchpin pass: scratch-backed
+// slices escaping their query lifetime. Scoped by package name, so this
+// declares `package core` and reaches the real Scratch through an
+// aliased import of the engine package.
+package core
+
+import (
+	enginecore "dynsum/internal/core"
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+type pinned struct {
+	frontier []enginecore.FrontierState
+}
+
+func leakReturn(sc *enginecore.Scratch, n pag.NodeID, fs intstack.ID) []enginecore.FrontierState {
+	return sc.Identity(n, fs, enginecore.S1) // want "returning a scratch-backed slice"
+}
+
+func leakField(p *pinned, sc *enginecore.Scratch, n pag.NodeID, fs intstack.ID) {
+	p.frontier = sc.Identity(n, fs, enginecore.S1) // want "storing a scratch-backed slice into field frontier"
+}
+
+func leakThroughAlias(sc *enginecore.Scratch, n pag.NodeID, fs intstack.ID) []enginecore.FrontierState {
+	view := sc.Identity(n, fs, enginecore.S1)
+	trimmed := view[:1]
+	return trimmed // want "returning a scratch-backed slice"
+}
+
+func leakComposite(sc *enginecore.Scratch, n pag.NodeID, fs intstack.ID) enginecore.Summary {
+	return enginecore.Summary{Frontier: sc.Identity(n, fs, enginecore.S1)} // want "returning a scratch-backed slice"
+}
+
+// Copying into a fresh allocation is the sanctioned escape.
+func copyOut(sc *enginecore.Scratch, n pag.NodeID, fs intstack.ID) []enginecore.FrontierState {
+	return append([]enginecore.FrontierState(nil), sc.Identity(n, fs, enginecore.S1)...)
+}
+
+// Overwriting a tainted variable with a clean value clears it.
+func overwritten(sc *enginecore.Scratch, n pag.NodeID, fs intstack.ID) []enginecore.FrontierState {
+	view := sc.Identity(n, fs, enginecore.S1)
+	view = make([]enginecore.FrontierState, 1)
+	return view
+}
+
+func allowedView(sc *enginecore.Scratch, n pag.NodeID, fs intstack.ID) []enginecore.FrontierState {
+	//lint:allow scratchpin exercising the directive escape hatch
+	return sc.Identity(n, fs, enginecore.S1)
+}

@@ -1,0 +1,38 @@
+// Seeded-violation corpus for the viewaware pass: raw adjacency reads
+// in package core. The pass is scoped by package name, so this file
+// declares `package core` and imports the real layers it reads from.
+package core
+
+import (
+	"dynsum/internal/delta"
+	"dynsum/internal/pag"
+)
+
+func rawGraphRead(g *pag.Graph, n pag.NodeID) int {
+	return len(g.LocalOut(n)) // want "raw pag.Graph.LocalOut call"
+}
+
+func rawCondRead(c *pag.Condensation, n pag.NodeID) bool {
+	return c.HasGlobalIn(n) // want "raw pag.Condensation.HasGlobalIn call"
+}
+
+func rawOverlayRead(o *delta.Overlay, n pag.NodeID) []pag.Edge {
+	return o.GlobalIn(n, true) // want "raw delta.Overlay.GlobalIn call"
+}
+
+func rawFlagRead(g *pag.Graph, n pag.NodeID) bool {
+	return g.HasLocalEdges(n) // want "raw pag.Graph.HasLocalEdges call"
+}
+
+// Non-adjacency reads on the same layers are free.
+func structuralReads(g *pag.Graph, c *pag.Condensation, n pag.NodeID) int {
+	if c.Rep(n) != n {
+		return 0
+	}
+	return g.NumNodes() + g.NumEdges()
+}
+
+//lint:allow viewaware exercising the function-level directive
+func allowedAccessor(g *pag.Graph, n pag.NodeID) []pag.Edge {
+	return g.GlobalOut(n)
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// viewawarePass enforces the engine's adjacency indirection: code in
+// package core must read graph adjacency through graphView (which
+// resolves base vs condensed vs overlay per query), never by calling the
+// raw accessors on *pag.Graph, *pag.Condensation or *delta.Overlay
+// directly. A raw call silently reads the wrong layer — e.g. base
+// adjacency while an overlay epoch is live — and produces stale
+// points-to sets rather than an error. The graphView accessors
+// themselves are the sanctioned raw-call sites and carry function-level
+// //lint:allow directives.
+type viewawarePass struct{}
+
+func (viewawarePass) Name() string { return "viewaware" }
+func (viewawarePass) Doc() string {
+	return "core must read adjacency via graphView, not raw Graph/Condensation/Overlay accessors"
+}
+
+func (viewawarePass) AppliesTo(pkgName, pkgPath string) bool { return pkgName == "core" }
+
+// adjacencyAccessors is the raw adjacency surface of the three layers.
+var adjacencyAccessors = map[string]bool{
+	"LocalOut":      true,
+	"GlobalOut":     true,
+	"LocalIn":       true,
+	"GlobalIn":      true,
+	"HasGlobalIn":   true,
+	"HasGlobalOut":  true,
+	"HasLocalEdges": true,
+}
+
+func (viewawarePass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !adjacencyAccessors[sel.Sel.Name] {
+				return true
+			}
+			recv := u.Info.TypeOf(sel.X)
+			if recv == nil {
+				return true
+			}
+			var layer string
+			switch {
+			case isNamed(recv, pagPath, "Graph"):
+				layer = "pag.Graph"
+			case isNamed(recv, pagPath, "Condensation"):
+				layer = "pag.Condensation"
+			case isNamed(recv, deltaPath, "Overlay"):
+				layer = "delta.Overlay"
+			default:
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:  u.Fset.Position(call.Pos()),
+				Pass: "viewaware",
+				Message: fmt.Sprintf("raw %s.%s call — core must read adjacency through graphView so base/condensed/overlay resolution stays in one place",
+					layer, sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -35,6 +35,8 @@
 package refine
 
 import (
+	"sync/atomic"
+
 	"dynsum/internal/core"
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
@@ -176,19 +178,19 @@ func (en *Engine) PointsTo(v pag.NodeID) (*core.PointsToSet, error) {
 // predicate is satisfied or no match edges remain. The boolean result
 // reports whether the client was satisfied.
 func (en *Engine) PointsToSatisfying(v pag.NodeID, satisfied func(*core.PointsToSet) bool) (*core.PointsToSet, bool, error) {
-	en.metrics.Queries++
+	atomic.AddInt64(&en.metrics.Queries, 1)
 	// Each query starts field-based again (fldsToRefine is per-query
 	// state in Algorithm 2); NOREFINE starts — and stays — refined.
 	clear(en.fldsToRefine)
 	en.useBaseMemo()
 
 	for {
-		en.metrics.RefineIters++
+		atomic.AddInt64(&en.metrics.RefineIters, 1)
 		clear(en.fldsSeen)
 		en.bud = core.NewBudget(en.cfg.Budget)
 		pts, err := en.fixpoint(memoKey{dirPts, v, intstack.Empty})
 		if err != nil {
-			en.metrics.Failed++
+			atomic.AddInt64(&en.metrics.Failed, 1)
 			return pts, false, err
 		}
 		if satisfied(pts) {
@@ -240,7 +242,7 @@ func (en *Engine) fixpoint(root memoKey) (*core.PointsToSet, error) {
 // observed somewhere beneath it.
 func (en *Engine) eval(key memoKey) (*core.PointsToSet, error) {
 	if e, ok := en.memo[key]; ok && e.complete {
-		en.metrics.CacheHits++
+		atomic.AddInt64(&en.metrics.CacheHits, 1)
 		en.replayDeps(e)
 		return e.set, nil
 	}
@@ -256,7 +258,7 @@ func (en *Engine) eval(key memoKey) (*core.PointsToSet, error) {
 		en.replayDeps(e)
 		return e.set, nil
 	}
-	en.metrics.CacheMisses++
+	atomic.AddInt64(&en.metrics.CacheMisses, 1)
 	en.inProgress[key] = true
 	en.open = append(en.open, e)
 	savedTaint := en.tainted
@@ -287,7 +289,7 @@ func (en *Engine) eval(key memoKey) (*core.PointsToSet, error) {
 // shortcut across load edge ld: the refinement loop (and every open memo
 // frame) must know the result is approximate.
 func (en *Engine) useMatch(ld pag.Edge) {
-	en.metrics.MatchEdges++
+	atomic.AddInt64(&en.metrics.MatchEdges, 1)
 	en.fldsSeen[ld] = true
 	for _, fr := range en.open {
 		fr.addDep(ld)
@@ -320,7 +322,7 @@ func (en *Engine) add(out *core.PointsToSet, n pag.NodeID, ctx intstack.ID) {
 
 // step debits one edge traversal.
 func (en *Engine) step() error {
-	en.metrics.EdgesTraversed++
+	atomic.AddInt64(&en.metrics.EdgesTraversed, 1)
 	if !en.bud.Step() {
 		return core.ErrBudget
 	}

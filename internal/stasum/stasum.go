@@ -30,6 +30,8 @@
 package stasum
 
 import (
+	"sync/atomic"
+
 	"dynsum/internal/core"
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
@@ -160,7 +162,7 @@ func (e *Engine) precompute() {
 			e.summaries[sumKey{n, core.S2}] = e.summarize(n, core.S2)
 		}
 	}
-	e.metrics.Summaries = int64(len(e.summaries))
+	atomic.StoreInt64(&e.metrics.Summaries, int64(len(e.summaries)))
 }
 
 // symState is one state of the symbolic PPTA.
@@ -331,7 +333,7 @@ func (e *Engine) PointsTo(v pag.NodeID) (*core.PointsToSet, error) {
 // is keyed by ⟨node, context⟩ pairs the paper's refinement loop inspects
 // per match edge, and Andersen mutates the graph pre-freeze.)
 func (e *Engine) PointsToCtx(v pag.NodeID, ctx intstack.ID) (*core.PointsToSet, error) {
-	e.metrics.Queries++
+	atomic.AddInt64(&e.metrics.Queries, 1)
 	bud := core.NewBudget(e.cfg.Budget)
 	return core.RunDriver(e.g, nil, e.ctxs, e.cfg, (*staSummarizer)(e), v, ctx, bud, &e.metrics, nil)
 }
@@ -350,12 +352,12 @@ func (ss *staSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st core.State, 
 	key := sumKey{n, st}
 	sum, ok := e.summaries[key]
 	if ok {
-		e.metrics.CacheHits++
+		atomic.AddInt64(&e.metrics.CacheHits, 1)
 	} else {
-		e.metrics.CacheMisses++
+		atomic.AddInt64(&e.metrics.CacheMisses, 1)
 		sum = e.summarize(n, st)
 		e.summaries[key] = sum
-		e.metrics.Summaries = int64(len(e.summaries))
+		atomic.StoreInt64(&e.metrics.Summaries, int64(len(e.summaries)))
 	}
 	if sum.overflow {
 		// Items may be missing: answering from this summary would be
@@ -368,7 +370,7 @@ func (ss *staSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st core.State, 
 		if !bud.Step() {
 			return out, ok, core.ErrBudget
 		}
-		e.metrics.EdgesTraversed++
+		atomic.AddInt64(&e.metrics.EdgesTraversed, 1)
 		if e.fields.HasPrefix(fs, oi.gamma) && e.fields.Depth(fs) == len(oi.gamma) {
 			out.Objects = append(out.Objects, oi.obj)
 		}
@@ -377,7 +379,7 @@ func (ss *staSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st core.State, 
 		if !bud.Step() {
 			return out, ok, core.ErrBudget
 		}
-		e.metrics.EdgesTraversed++
+		atomic.AddInt64(&e.metrics.EdgesTraversed, 1)
 		if !e.fields.HasPrefix(fs, fi.gamma) {
 			continue
 		}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the static-analysis gate: go vet plus the repository's own
+# invariant firewall (cmd/dynsumlint — see internal/lint and DESIGN.md
+# §11). Fails on any diagnostic; intentional exceptions belong in the
+# source as `//lint:allow <pass> <reason>` directives, not here.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+echo "[lint] go vet ./..."
+go vet ./...
+
+echo "[lint] dynsumlint ./..."
+go run ./cmd/dynsumlint ./...
+
+echo "[lint] ok"
