@@ -43,6 +43,13 @@ fuzz:
 	$(GO) test ./internal/check -fuzz FuzzFreezeValidate -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/check -fuzz FuzzDeltaApplyValidate -fuzztime $(FUZZ_TIME)
 
+# faultcheck runs the query-lifecycle hardening suite: deterministic
+# fault-injection crash-consistency sweeps (internal/enginetest) plus
+# the cancellation / panic-quarantine / retry tests (internal/core).
+.PHONY: faultcheck
+faultcheck:
+	$(GO) test -run 'Fault|Cancel|Panic|Quarantine|Retry' -count=1 ./internal/enginetest/ ./internal/core/
+
 .PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) $(PKG)

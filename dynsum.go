@@ -29,6 +29,7 @@
 package dynsum
 
 import (
+	"context"
 	"io"
 
 	"dynsum/internal/benchgen"
@@ -74,6 +75,26 @@ type (
 	// DeltaResult reports what one applied epoch did: overlay statistics
 	// plus the summaries invalidated and whether auto-compaction ran.
 	DeltaResult = core.DeltaResult
+	// RetryPolicy answers a query with escalating budgets: only ErrBudget
+	// aborts are retried (ErrDepth is structural, cancellation is the
+	// client's decision, panics mean the query is suspect). The zero value
+	// gives three attempts at ×4 escalation from the engine's budget.
+	RetryPolicy = core.RetryPolicy
+	// QueryPanicError is the quarantined form of a panic raised inside one
+	// points-to query: the query's scratch state was discarded instead of
+	// pooled and its buffered write-backs were dropped, so the engine and
+	// its summary cache are exactly as if the query never ran. It carries
+	// the panicking variable, context, panic value and stack.
+	QueryPanicError = core.QueryPanicError
+	// MutatorPanicError is the quarantined form of a panic raised inside an
+	// engine mutator (ApplyDelta before its commit point, Compact): the
+	// mutation did not happen and the engine is fully usable on its
+	// pre-call state. A panic past ApplyDelta's commit point is NOT
+	// converted — a half-applied epoch propagates as the original panic.
+	MutatorPanicError = core.MutatorPanicError
+	// FrozenError is the panic value of a post-freeze graph mutation; it
+	// wraps ErrFrozen and names the offending operation and target.
+	FrozenError = pag.FrozenError
 
 	// Identifier and edge types re-exported so DeltaLog entries can be
 	// constructed against the facade alone.
@@ -114,13 +135,37 @@ const (
 	NoCallSite = pag.NoCallSite
 )
 
-// Errors and defaults re-exported from the kernel.
+// Errors and defaults re-exported from the kernel. The taxonomy has two
+// classes (DESIGN.md §12):
+//
+//   - Partial aborts (ErrBudget, ErrDepth, ErrCanceled; IsPartial returns
+//     true): the traversal stopped cooperatively at a step boundary. The
+//     points-to set accumulated so far is a sound under-approximation —
+//     everything in it is a real may-point-to fact — and the client must
+//     answer conservatively. The engine and cache are fully intact.
+//   - Quarantined panics (*QueryPanicError, *MutatorPanicError): the
+//     operation was interrupted mid-step; its partial state was discarded,
+//     never pooled or committed, so the engine remains byte-identical to
+//     the state before the call.
 var (
 	// ErrBudget is returned when a query exceeds its traversal budget.
 	ErrBudget = core.ErrBudget
 	// ErrDepth is returned when a query exceeds a stack-depth cap.
 	ErrDepth = core.ErrDepth
+	// ErrCanceled is matched (errors.Is) by the error of a query aborted
+	// through its context; the error also matches context.Cause(ctx), so
+	// context.DeadlineExceeded checks work too.
+	ErrCanceled = core.ErrCanceled
+	// ErrNotEvolved is returned by Compact on an engine with no overlay.
+	ErrNotEvolved = core.ErrNotEvolved
+	// ErrFrozen is the sentinel wrapped by every *FrozenError panic.
+	ErrFrozen = pag.ErrFrozen
 )
+
+// IsPartial reports whether err is a partial-abort error (ErrBudget,
+// ErrDepth or ErrCanceled) — the class whose partially filled points-to
+// set is still a sound under-approximation.
+func IsPartial(err error) bool { return core.IsPartial(err) }
 
 // DefaultBudget is the paper's 75,000-edge per-query budget.
 const DefaultBudget = core.DefaultBudget
@@ -198,6 +243,18 @@ func BatchPointsTo(engine *core.DynSum, vars []NodeID, workers int) []Result {
 		queries[i] = Query{Var: v, Ctx: intstack.Empty}
 	}
 	return engine.BatchPointsTo(queries, workers)
+}
+
+// BatchPointsToCtx is BatchPointsTo governed by a context: once ctx is
+// done, in-flight queries abort cooperatively with ErrCanceled and the
+// remaining slots are filled without traversal, so the call returns
+// promptly, positionally aligned and with no goroutine leaked.
+func BatchPointsToCtx(ctx context.Context, engine *core.DynSum, vars []NodeID, workers int) []Result {
+	queries := make([]Query, len(vars))
+	for i, v := range vars {
+		queries[i] = Query{Var: v, Ctx: intstack.Empty}
+	}
+	return engine.BatchPointsToCtx(ctx, queries, workers)
 }
 
 // RunClient runs one of the paper's clients ("SafeCast", "NullDeref",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,14 @@ import (
 // concurrently before that warming happened — and vice versa. Such
 // queries fail with ErrBudget exactly as a cold serial query would, and
 // clients already treat that conservatively.
+//
+// Lifecycle hardening (DESIGN.md §12): every worker answers each claimed
+// query through its own recover boundary, so a panicking query yields a
+// *QueryPanicError in its result slot instead of killing the worker and
+// stranding the WaitGroup; and a canceled context drains the pool — each
+// worker keeps claiming slots but fills them with ErrCanceled results
+// without traversing, so Wait returns promptly, every slot stays
+// positionally aligned, and no goroutine leaks.
 
 // Query is one batched points-to request: a variable and the calling
 // context (an ID in the engine's context table; intstack.Empty for the
@@ -34,13 +43,21 @@ type Query struct {
 }
 
 // Result is the outcome of one batched query, in the same position as its
-// Query. A non-nil Err (ErrBudget/ErrDepth) means Pts is partial and the
-// client must answer conservatively, exactly as for serial PointsTo.
+// Query. A non-nil Err means the query did not complete:
+//
+//   - Partial true (ErrBudget/ErrDepth/ErrCanceled): Pts is the sound
+//     partial set accumulated before the abort — everything in it is a
+//     real may-point-to fact, absence proves nothing — and the client
+//     must answer conservatively, exactly as for serial PointsTo errors.
+//   - Partial false (*QueryPanicError): the traversal was interrupted
+//     mid-step; Pts is nil because nothing about its content is
+//     trustworthy. The engine itself is unharmed (see QueryPanicError).
 type Result struct {
-	Var pag.NodeID
-	Ctx intstack.ID
-	Pts *PointsToSet
-	Err error
+	Var     pag.NodeID
+	Ctx     intstack.ID
+	Pts     *PointsToSet
+	Err     error
+	Partial bool
 }
 
 // BatchPointsTo answers every query, fanning the batch out across workers
@@ -54,6 +71,16 @@ type Result struct {
 // queries exhaust their budget can differ from a serial run near the
 // budget boundary (see the file comment above).
 func (d *DynSum) BatchPointsTo(queries []Query, workers int) []Result {
+	return d.BatchPointsToCtx(nil, queries, workers)
+}
+
+// BatchPointsToCtx is BatchPointsTo governed by a context: once ctx is
+// done, in-flight queries abort cooperatively with ErrCanceled (within
+// one cancelCheckInterval of budget steps) and the remaining queries are
+// drained — their slots are filled with ErrCanceled results without any
+// traversal — so the call returns promptly with every result slot
+// populated and the worker pool fully drained. ctx may be nil.
+func (d *DynSum) BatchPointsToCtx(ctx context.Context, queries []Query, workers int) []Result {
 	results := make([]Result, len(queries))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -63,8 +90,7 @@ func (d *DynSum) BatchPointsTo(queries []Query, workers int) []Result {
 	}
 	if workers <= 1 {
 		for i, q := range queries {
-			pts, err := d.PointsToCtx(q.Var, q.Ctx)
-			results[i] = Result{Var: q.Var, Ctx: q.Ctx, Pts: pts, Err: err}
+			results[i] = d.batchOne(ctx, q)
 		}
 		return results
 	}
@@ -82,12 +108,36 @@ func (d *DynSum) BatchPointsTo(queries []Query, workers int) []Result {
 				if i >= len(queries) {
 					return
 				}
-				q := queries[i]
-				pts, err := d.PointsToCtx(q.Var, q.Ctx)
-				results[i] = Result{Var: q.Var, Ctx: q.Ctx, Pts: pts, Err: err}
+				results[i] = d.batchOne(ctx, queries[i])
 			}
 		}()
 	}
 	wg.Wait()
 	return results
+}
+
+// batchOne answers one batched query behind its own panic boundary.
+// pointsToInto already quarantines traversal panics into its error
+// return; the recover here is the second boundary the batch needs — it
+// catches anything outside that window (result-set allocation, a
+// panicking user Tracer after the traversal) so a worker goroutine can
+// never die with the WaitGroup held.
+func (d *DynSum) batchOne(ctx context.Context, q Query) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			if qp, ok := r.(*QueryPanicError); ok {
+				// Already typed by an inner boundary: keep the original.
+				res = Result{Var: q.Var, Ctx: q.Ctx, Err: qp}
+				return
+			}
+			res = Result{Var: q.Var, Ctx: q.Ctx, Err: newQueryPanicError(q.Var, q.Ctx, r)}
+		}
+	}()
+	pts := NewPointsToSet()
+	err := d.pointsToInto(ctx, pts, q.Var, q.Ctx, d.cfg.Budget)
+	if _, isPanic := err.(*QueryPanicError); isPanic {
+		// Quarantined traversal: the partial set is untrustworthy.
+		pts = nil
+	}
+	return Result{Var: q.Var, Ctx: q.Ctx, Pts: pts, Err: err, Partial: IsPartial(err)}
 }

@@ -1,11 +1,15 @@
 package core_test
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"dynsum/internal/core"
+	"dynsum/internal/faultinject"
 	"dynsum/internal/fixture"
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
@@ -162,4 +166,160 @@ func TestBatchConcurrentWithPointForQueries(t *testing.T) {
 			t.Errorf("direct query %d diverged from serial", i)
 		}
 	}
+}
+
+// goroutineStable waits until the process goroutine count settles back to
+// at most base, failing the test if it never does — the leak assertion
+// batch execution must satisfy after every call, completed or canceled.
+func goroutineStable(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutine count stuck at %d, want <= %d: worker leak", runtime.NumGoroutine(), base)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBatchNoGoroutineLeak: a completed batch leaves no worker goroutines
+// behind at any worker count.
+func TestBatchNoGoroutineLeak(t *testing.T) {
+	f := fixture.BuildFigure2()
+	queries := figure2Queries(f)
+	base := runtime.NumGoroutine()
+	for _, workers := range []int{2, 4, 16} {
+		d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+		d.BatchPointsTo(queries, workers)
+	}
+	goroutineStable(t, base)
+}
+
+// TestBatchCancelPreCanceled: an already-done context drains the whole
+// batch without traversal — every slot populated, aligned, ErrCanceled,
+// Partial, and no goroutine leaked.
+func TestBatchCancelPreCanceled(t *testing.T) {
+	f := fixture.BuildFigure2()
+	queries := figure2Queries(f)
+	base := runtime.NumGoroutine()
+	d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	results := d.BatchPointsToCtx(ctx, queries, 4)
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for i, r := range results {
+		if r.Var != queries[i].Var || r.Ctx != queries[i].Ctx {
+			t.Errorf("result %d misaligned: %+v", i, r)
+		}
+		if !errors.Is(r.Err, core.ErrCanceled) {
+			t.Errorf("result %d: err = %v, want ErrCanceled", i, r.Err)
+		}
+		if !r.Partial {
+			t.Errorf("result %d: canceled result not marked Partial", i)
+		}
+	}
+	if m := d.Metrics().Snapshot(); m.EdgesTraversed != 0 {
+		t.Errorf("drained batch traversed %d edges, want 0", m.EdgesTraversed)
+	}
+	goroutineStable(t, base)
+}
+
+// TestBatchCancelMidFlight: cancellation arriving while workers are
+// traversing drains the pool promptly — every slot is populated and each
+// result is either a clean answer or a Partial cancellation; nothing
+// leaks.
+func TestBatchCancelMidFlight(t *testing.T) {
+	f := fixture.BuildFigure2()
+	var queries []core.Query
+	for i := 0; i < 64; i++ {
+		queries = append(queries, figure2Queries(f)...)
+	}
+	base := runtime.NumGoroutine()
+	d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	d.Tracer = func(core.TraceEvent) { once.Do(cancel) }
+
+	results := d.BatchPointsToCtx(ctx, queries, 4)
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	canceled := 0
+	for i, r := range results {
+		if r.Var != queries[i].Var {
+			t.Errorf("result %d misaligned", i)
+		}
+		switch {
+		case r.Err == nil:
+			if r.Pts == nil {
+				t.Errorf("result %d: clean result with nil set", i)
+			}
+		case errors.Is(r.Err, core.ErrCanceled):
+			canceled++
+			if !r.Partial {
+				t.Errorf("result %d: canceled result not marked Partial", i)
+			}
+		default:
+			t.Errorf("result %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if canceled == 0 {
+		t.Error("cancellation mid-batch produced no canceled results")
+	}
+	goroutineStable(t, base)
+}
+
+// TestBatchPanicIsolation: a panic injected into one worker's traversal
+// lands as a typed *QueryPanicError in that query's slot; the rest of the
+// batch completes, the WaitGroup is released, and no goroutine leaks.
+func TestBatchPanicIsolation(t *testing.T) {
+	f := fixture.BuildFigure2()
+	queries := figure2Queries(f)
+	base := runtime.NumGoroutine()
+	d := core.NewDynSum(f.Prog.G, core.Config{}, nil)
+
+	s := faultinject.NewSchedule()
+	s.Arm(faultinject.PPTAExpand, 1)
+	faultinject.Activate(s)
+	defer faultinject.Deactivate()
+
+	results := d.BatchPointsTo(queries, 4)
+	faultinject.Deactivate()
+
+	panicked := 0
+	for i, r := range results {
+		var qp *core.QueryPanicError
+		switch {
+		case errors.As(r.Err, &qp):
+			panicked++
+			if r.Pts != nil {
+				t.Errorf("result %d: panicked query returned a non-nil set", i)
+			}
+			if r.Partial {
+				t.Errorf("result %d: panicked query marked Partial", i)
+			}
+		case r.Err != nil:
+			t.Errorf("result %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if panicked != 1 {
+		t.Errorf("injected exactly one fault, got %d panicked results", panicked)
+	}
+	if err := d.CheckIntegrity(); err != nil {
+		t.Errorf("CheckIntegrity after batch panic: %v", err)
+	}
+	// The engine keeps answering: rerun the batch cleanly.
+	for i, r := range d.BatchPointsTo(queries, 4) {
+		if r.Err != nil {
+			t.Errorf("rerun result %d: %v", i, r.Err)
+		}
+	}
+	goroutineStable(t, base)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"dynsum/internal/faultinject"
 	"dynsum/internal/pag"
 )
 
@@ -87,23 +88,25 @@ func (c *summaryCache) get(k pptaState) (*pptaResult, bool) {
 }
 
 // put inserts one entry, maintaining the method index. method must be the
-// method of k's node.
+// method of k's node. Index before entry, like putBatch: a fault in
+// between leaves a tolerated stale index key, never an unreachable entry.
 func (c *summaryCache) put(k pptaState, method pag.MethodID, r *pptaResult) {
 	s := c.shard(k)
-	s.mu.Lock()
+	s.mu.RLock()
 	_, existed := s.m[k]
+	s.mu.RUnlock()
+	if !existed {
+		ms := c.methodShard(method)
+		ms.mu.Lock()
+		if ms.m == nil {
+			ms.m = make(map[pag.MethodID][]pptaState, 8)
+		}
+		ms.m[method] = append(ms.m[method], k)
+		ms.mu.Unlock()
+	}
+	s.mu.Lock()
 	s.m[k] = r
 	s.mu.Unlock()
-	if existed {
-		return // key already indexed by its first insertion
-	}
-	ms := c.methodShard(method)
-	ms.mu.Lock()
-	if ms.m == nil {
-		ms.m = make(map[pag.MethodID][]pptaState, 8)
-	}
-	ms.m[method] = append(ms.m[method], k)
-	ms.mu.Unlock()
 }
 
 // putBatch inserts the write-back set of one completed PPTA run: keys[i]
@@ -114,36 +117,50 @@ func (c *summaryCache) put(k pptaState, method pag.MethodID, r *pptaResult) {
 // It returns how many keys were genuinely new; overwrites of entries
 // another worker landed first are not counted, and not re-indexed.
 //
-// keys is consumed as scratch (fresh keys are compacted within each
-// segment for the one-append index insert): callers pass a queue they are
-// about to discard.
+// Ordering is the panic-safety invariant (DESIGN.md §12): within each
+// segment the method index is extended FIRST, then the entries are
+// inserted one by one. A fault at any instant in between leaves stale
+// index keys — which deleteMethod tolerates (they count as zero) — but
+// never a live cache entry the method index cannot reach, which is the
+// violation CheckIntegrity reports. Freshness is probed under read locks
+// before indexing; a racing worker inserting the same key between the
+// probe and our insert costs one duplicate index key (tolerated, see
+// methodShard) and may overcount fresh by one — the same tolerance the
+// racing-insert comment at the top of the file already grants.
 func (c *summaryCache) putBatch(keys []pptaState, methods []pag.MethodID, results []*pptaResult) int {
 	fresh := 0
+	var freshBuf []pptaState // cold path: one small allocation per batch
 	for i := 0; i < len(keys); {
 		m := methods[i]
 		j := i
-		w := i
+		freshBuf = freshBuf[:0]
 		for ; j < len(keys) && methods[j] == m; j++ {
 			k := keys[j]
 			s := c.shard(k)
-			s.mu.Lock()
+			s.mu.RLock()
 			_, existed := s.m[k]
-			s.m[k] = results[j]
-			s.mu.Unlock()
+			s.mu.RUnlock()
 			if !existed {
-				keys[w] = k
-				w++
+				freshBuf = append(freshBuf, k)
 			}
 		}
-		if w > i {
-			fresh += w - i
+		if len(freshBuf) > 0 {
+			fresh += len(freshBuf)
 			ms := c.methodShard(m)
 			ms.mu.Lock()
 			if ms.m == nil {
 				ms.m = make(map[pag.MethodID][]pptaState, 8)
 			}
-			ms.m[m] = append(ms.m[m], keys[i:w]...)
+			ms.m[m] = append(ms.m[m], freshBuf...)
 			ms.mu.Unlock()
+		}
+		for x := i; x < j; x++ {
+			faultinject.Fire(faultinject.CachePutBatch)
+			k := keys[x]
+			s := c.shard(k)
+			s.mu.Lock()
+			s.m[k] = results[x]
+			s.mu.Unlock()
 		}
 		i = j
 	}

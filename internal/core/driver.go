@@ -197,12 +197,13 @@ func (v graphView) nodeMethod(n pag.NodeID) pag.MethodID {
 // passes nil because its precomputed summaries are keyed by original
 // boundary nodes).
 func RunDriver(g *pag.Graph, cond *pag.Condensation, ctxs *intstack.Table, cfg Config, sum Summarizer,
-	v pag.NodeID, ctx intstack.ID, bud *Budget, m *Metrics, trace func(TraceEvent)) (*PointsToSet, error) {
+	v pag.NodeID, ctx intstack.ID, bud *Budget, m *Metrics, trace func(TraceEvent)) (pts *PointsToSet, err error) {
 
-	pts := NewPointsToSet()
+	pts = NewPointsToSet()
 	sc := getScratch()
-	err := runDriverInto(g, cond, nil, ctxs, cfg, sum, v, ctx, bud, m, trace, pts, sc)
-	putScratch(sc, g.NumNodes())
+	defer quarantineRelease(sc, m, g.NumNodes(), v, ctx, &err)
+	err = runDriverInto(g, cond, nil, ctxs, cfg, sum, v, ctx, bud, m, trace, pts, sc)
+	sc.completed = true
 	return pts, err
 }
 
@@ -258,7 +259,7 @@ func runDriverInto(g *pag.Graph, cond *pag.Condensation, ov *delta.Overlay, ctxs
 				for _, e := range gv.globalIn(fr.Node) {
 					if !bud.Step() {
 						atomic.AddInt64(&m.Failed, 1)
-						return ErrBudget
+						return bud.Err()
 					}
 					sc.edges++
 					switch e.Kind {
@@ -280,7 +281,7 @@ func runDriverInto(g *pag.Graph, cond *pag.Condensation, ov *delta.Overlay, ctxs
 				for _, e := range gv.globalOut(fr.Node) {
 					if !bud.Step() {
 						atomic.AddInt64(&m.Failed, 1)
-						return ErrBudget
+						return bud.Err()
 					}
 					sc.edges++
 					switch e.Kind {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"dynsum/internal/delta"
+	"dynsum/internal/faultinject"
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -186,8 +188,44 @@ func (d *DynSum) PointsToInto(dst *PointsToSet, v pag.NodeID) error {
 // PointsToInto. On error dst holds the partial set, exactly as the
 // allocating API returns it.
 func (d *DynSum) PointsToCtxInto(dst *PointsToSet, v pag.NodeID, ctx intstack.ID) error {
+	return d.pointsToInto(nil, dst, v, ctx, d.cfg.Budget)
+}
+
+// PointsToCtx2 is PointsToCtx governed by a context: cancellation or a
+// deadline aborts the traversal cooperatively — the budget's per-edge
+// check polls ctx.Done() every cancelCheckInterval steps — returning
+// ErrCanceled (which also matches the context's own cause under
+// errors.Is) with the sound partial set accumulated so far. A context
+// that cannot be canceled adds no overhead over PointsToCtx.
+func (d *DynSum) PointsToCtx2(ctx context.Context, v pag.NodeID, cc intstack.ID) (*PointsToSet, error) {
+	pts := NewPointsToSet()
+	err := d.pointsToInto(ctx, pts, v, cc, d.cfg.Budget)
+	return pts, err
+}
+
+// PointsToCtx2Into is PointsToCtx2 accumulating into a caller-owned set;
+// see PointsToInto for the allocation discipline.
+func (d *DynSum) PointsToCtx2Into(ctx context.Context, dst *PointsToSet, v pag.NodeID, cc intstack.ID) error {
+	return d.pointsToInto(ctx, dst, v, cc, d.cfg.Budget)
+}
+
+// pointsToInto is the single query entry every public PointsTo variant
+// funnels through: it resolves the adjacency mode, arms the budget with
+// the governing context (nil for the context-free APIs), and runs the
+// driver inside the panic-quarantine boundary — quarantineRelease is the
+// only way the borrowed Scratch leaves this function, pooled on normal
+// return (sc.completed) and abandoned on panic. budget is a parameter
+// (rather than always d.cfg.Budget) so RetryPolicy can escalate it
+// per-attempt without mutating the engine.
+func (d *DynSum) pointsToInto(ctx context.Context, dst *PointsToSet, v pag.NodeID, cc intstack.ID, budget int) (err error) {
 	atomic.AddInt64(&d.metrics.Queries, 1)
 	dst.Reset()
+	if cerr := ctxDone(ctx); cerr != nil {
+		// Already over: answer before borrowing a scratch. This is what
+		// lets canceled batch workers drain their remaining slots cheaply.
+		atomic.AddInt64(&d.metrics.Failed, 1)
+		return cerr
+	}
 	cond := d.condensation()
 	mode := int32(1)
 	if cond == nil {
@@ -202,9 +240,11 @@ func (d *DynSum) PointsToCtxInto(dst *PointsToSet, v pag.NodeID, ctx intstack.ID
 		d.cacheMode.Store(mode)
 	}
 	sc := getScratch()
-	sc.bud = Budget{Limit: d.cfg.Budget}
-	err := runDriverInto(d.g, cond, d.ov, d.ctxs, d.cfg, (*dynSummarizer)(d), v, ctx, &sc.bud, &d.metrics, d.Tracer, dst, sc)
-	putScratch(sc, graphView{g: d.g, ov: d.ov}.numNodes())
+	sc.bud = Budget{Limit: budget}
+	sc.bud.arm(ctx)
+	defer quarantineRelease(sc, &d.metrics, graphView{g: d.g, ov: d.ov}.numNodes(), v, cc, &err)
+	err = runDriverInto(d.g, cond, d.ov, d.ctxs, d.cfg, (*dynSummarizer)(d), v, cc, &sc.bud, &d.metrics, d.Tracer, dst, sc)
+	sc.completed = true
 	return err
 }
 
@@ -292,6 +332,9 @@ func (d *DynSum) commitWriteBacks(sc *Scratch, computed int64) {
 	if len(sc.pendKeys) == 0 {
 		return
 	}
+	// The last instant before anything is materialised: a fault here must
+	// leave the cache byte-identical (the crash-consistency sweep checks).
+	faultinject.Fire(faultinject.WriteBackCommit)
 	// Size the blocks: runs of equal indices in pendRIdx are one SCC.
 	distinct, totalObjs, totalFrs := 0, 0, 0
 	prev := int32(-1)

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"dynsum/internal/intstack"
+	"dynsum/internal/pag"
+)
+
+// This file defines the abort half of the error taxonomy (ErrBudget and
+// ErrDepth live in core.go next to the budget they belong to): typed
+// cancellation, the panic-quarantine error wrappers, and the partial-
+// result classifier. The taxonomy is deliberately small and closed —
+// DESIGN.md §12 — because every client decision reduces to one of three
+// reactions: retry with more budget (ErrBudget), accept the conservative
+// answer (any partial abort), or treat the engine as suspect (a panic
+// wrapper, which quarantined the query's state but still deserves a log
+// line).
+
+// ErrCanceled is reported when the context governing a query ends it —
+// cancellation or deadline — before the traversal completes. It joins
+// ErrBudget/ErrDepth in the partial-abort class: the accumulated set is
+// a sound under-approximation and clients must answer conservatively.
+// The concrete error also matches the context's own cause, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded) hold.
+var ErrCanceled = errors.New("points-to query canceled")
+
+// canceledError carries the context's cause under the ErrCanceled
+// identity.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string {
+	return "points-to query canceled: " + e.cause.Error()
+}
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+func (e *canceledError) Unwrap() error        { return e.cause }
+
+// wrapCanceled converts a done context into the query-level error.
+func wrapCanceled(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &canceledError{cause: cause}
+}
+
+// ctxDone reports a context that is already over, wrapped for the query
+// error taxonomy; nil contexts (and live ones) return nil.
+func ctxDone(ctx context.Context) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return wrapCanceled(ctx)
+}
+
+// QueryPanicError reports a panic that escaped one points-to query. The
+// quarantine boundary (see scratch.go quarantineRelease) converted it:
+// the query's Scratch was abandoned instead of pooled, no buffered
+// write-back reached the summary cache, and the engine's shared state is
+// exactly as if the query had never run — other in-flight and future
+// queries are unaffected. Value is the original panic value (exposed to
+// errors.As/Is when it is itself an error, e.g. an injected
+// *faultinject.Fault) and Stack the goroutine stack captured at recovery.
+type QueryPanicError struct {
+	Var   pag.NodeID
+	Ctx   intstack.ID
+	Value any
+	Stack []byte
+}
+
+func (e *QueryPanicError) Error() string {
+	return fmt.Sprintf("points-to query on node %d panicked: %v", e.Var, e.Value)
+}
+
+// Unwrap exposes an error-typed panic value to errors.Is/As chains.
+func (e *QueryPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+func newQueryPanicError(v pag.NodeID, cc intstack.ID, value any) *QueryPanicError {
+	return &QueryPanicError{Var: v, Ctx: cc, Value: value, Stack: debug.Stack()}
+}
+
+// MutatorPanicError reports a panic that escaped a graph mutator
+// (ApplyDelta, Compact) and was recovered at a point where the engine's
+// published state is still the pre-mutation state: the staged overlay
+// apply had installed nothing, or the compaction's replacement graph was
+// still being built off to the side. The engine remains fully usable on
+// its old epoch. A panic past the commit point is NOT recovered — it
+// propagates, because converting it to an error would hand back a
+// half-mutated engine.
+type MutatorPanicError struct {
+	Op    string // "ApplyDelta" or "Compact"
+	Value any
+	Stack []byte
+}
+
+func (e *MutatorPanicError) Error() string {
+	return fmt.Sprintf("%s panicked before commit (engine unchanged): %v", e.Op, e.Value)
+}
+
+// Unwrap exposes an error-typed panic value to errors.Is/As chains.
+func (e *MutatorPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+func newMutatorPanicError(op string, value any) *MutatorPanicError {
+	return &MutatorPanicError{Op: op, Value: value, Stack: debug.Stack()}
+}
+
+// IsPartial reports whether err is a partial-abort: the query was cut
+// short (budget, depth cap, cancellation, deadline) but the set built so
+// far is a sound under-approximation — everything in it is a real
+// may-point-to fact; absence proves nothing. Clients answer such aborts
+// conservatively (MayAlias already returns true on them). Panic errors
+// are NOT partial: nothing about an interrupted traversal's output is
+// trustworthy, so their set is discarded.
+func IsPartial(err error) bool {
+	return err != nil &&
+		(errors.Is(err, ErrBudget) || errors.Is(err, ErrDepth) || errors.Is(err, ErrCanceled))
+}

@@ -69,7 +69,22 @@ func (d *DynSum) ensureOverlay() error {
 // summaries are invalidated via the per-method key index. When the
 // overlay's size crosses Config.CompactFraction of the base graph, the
 // epoch finishes with an automatic Compact.
-func (d *DynSum) ApplyDelta(l *delta.Log) (DeltaResult, error) {
+func (d *DynSum) ApplyDelta(l *delta.Log) (res DeltaResult, err error) {
+	// Quarantine boundary: Apply stages every change read-only before its
+	// commit point, so a panic it lets escape means the overlay (and the
+	// engine) are still exactly the pre-epoch state — convert it to a
+	// typed error and keep serving. A panic past the commit point is
+	// re-raised: a half-applied epoch must not masquerade as an error
+	// return. The log is untouched by a pre-commit abort and may be
+	// re-applied.
+	defer func() {
+		if r := recover(); r != nil {
+			if d.ov != nil && d.ov.Broken() {
+				panic(r)
+			}
+			err = newMutatorPanicError("ApplyDelta", r)
+		}
+	}()
 	if err := d.ensureOverlay(); err != nil {
 		return DeltaResult{}, err
 	}
@@ -77,7 +92,7 @@ func (d *DynSum) ApplyDelta(l *delta.Log) (DeltaResult, error) {
 	if err != nil {
 		return DeltaResult{}, err
 	}
-	res := DeltaResult{ApplyStats: st}
+	res = DeltaResult{ApplyStats: st}
 	for _, m := range st.TouchedMethods {
 		res.InvalidatedSummaries += d.cache.deleteMethod(m)
 	}
@@ -97,7 +112,17 @@ func (d *DynSum) ApplyDelta(l *delta.Log) (DeltaResult, error) {
 // carried over; that occasional full re-warm is the cost the overlay
 // amortises across the epochs in between. Returns ErrNotEvolved when
 // there is no overlay.
-func (d *DynSum) Compact() error {
+func (d *DynSum) Compact() (err error) {
+	// Quarantine boundary: Overlay.Compact builds the replacement graph
+	// entirely off to the side — the engine's graph, overlay and cache are
+	// untouched until the swap below — so a panic anywhere inside the
+	// rebuild leaves the engine fully usable on its old overlay. Convert
+	// it to a typed error; a later retry just rebuilds from scratch.
+	defer func() {
+		if r := recover(); r != nil {
+			err = newMutatorPanicError("Compact", r)
+		}
+	}()
 	if d.ov == nil {
 		return ErrNotEvolved
 	}

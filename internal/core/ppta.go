@@ -1,6 +1,7 @@
 package core
 
 import (
+	"dynsum/internal/faultinject"
 	"dynsum/internal/intstack"
 	"dynsum/internal/pag"
 )
@@ -188,6 +189,7 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 		cur := sc.pwork[len(sc.pwork)-1]
 		sc.pwork = sc.pwork[:len(sc.pwork)-1]
 		sc.ppta++
+		faultinject.Fire(faultinject.PPTAExpand)
 
 		switch cur.st {
 		case S1:
@@ -198,7 +200,7 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 			}
 			for _, e := range gv.localIn(cur.node) {
 				if !bud.Step() {
-					return nil, ErrBudget
+					return nil, bud.Err()
 				}
 				sc.edges++
 				switch e.Kind {
@@ -232,7 +234,7 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 			}
 			for _, e := range gv.localOut(cur.node) {
 				if !bud.Step() {
-					return nil, ErrBudget
+					return nil, bud.Err()
 				}
 				sc.edges++
 				switch e.Kind {
@@ -256,7 +258,7 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 					continue
 				}
 				if !bud.Step() {
-					return nil, ErrBudget
+					return nil, bud.Err()
 				}
 				sc.edges++
 				// cur.node aliases the base of the pending load: the
@@ -289,13 +291,14 @@ func (sc *Scratch) memoExpand(gv graphView, fields *intstack.Table, s pptaState,
 	ownOff := int32(len(sc.mOwnObj))
 	frontier := false
 	sc.ppta++
+	faultinject.Fire(faultinject.PPTAExpand)
 
 	switch s.st {
 	case S1:
 		frontier = gv.hasGlobalIn(s.node)
 		for _, e := range gv.localIn(s.node) {
 			if !bud.Step() {
-				return 0, ErrBudget
+				return 0, bud.Err()
 			}
 			sc.edges++
 			switch e.Kind {
@@ -323,7 +326,7 @@ func (sc *Scratch) memoExpand(gv graphView, fields *intstack.Table, s pptaState,
 		frontier = gv.hasGlobalOut(s.node)
 		for _, e := range gv.localOut(s.node) {
 			if !bud.Step() {
-				return 0, ErrBudget
+				return 0, bud.Err()
 			}
 			sc.edges++
 			switch e.Kind {
@@ -345,7 +348,7 @@ func (sc *Scratch) memoExpand(gv graphView, fields *intstack.Table, s pptaState,
 				continue
 			}
 			if !bud.Step() {
-				return 0, ErrBudget
+				return 0, bud.Err()
 			}
 			sc.edges++
 			if top, ok := fields.Peek(s.fs); ok && top == e.Label {

@@ -354,6 +354,16 @@ type Scratch struct {
 	// idBuf backs the single-state frontier of identity summaries (nodes
 	// without local edges), avoiding one allocation per such Summarize.
 	idBuf [1]FrontierState
+
+	// completed is the quarantine health flag: the query entry sets it
+	// only after the traversal returned normally (success or a clean
+	// error abort both count — the scratch's invariants hold either way).
+	// quarantineRelease pools the scratch only when it is set; a panic
+	// unwinds past the set, leaving it false, and the poisoned scratch is
+	// abandoned to the GC instead of re-entering the pool. The lint pass
+	// `scratchreturn` enforces that every putScratch call is dominated by
+	// this check.
+	completed bool
 }
 
 // dkeys is the dense encoding of a driverTuple: node and field stack in
@@ -386,9 +396,37 @@ func putScratch(sc *Scratch, nodes int) {
 	// pool entry. (Result pointers the memoised PPTA parks in mres and
 	// pendRes are zeroed at the end of each traversal/commit — doing it
 	// here would memset large pooled buffers on every warm query.)
+	// The budget is zeroed for the same reason: an armed budget holds the
+	// query's context.
 	sc.gv = graphView{}
+	sc.bud = Budget{}
 	sc.trim(retainLimit(nodes))
 	scratchPool.Put(sc)
+}
+
+// quarantineRelease is the query path's single pool-return point,
+// deferred by every entry that borrows a Scratch (DynSum.pointsToInto,
+// RunDriver) around the traversal. On normal return — the entry marked
+// sc.completed after the traversal came back, error aborts included —
+// it recycles the scratch. On panic it recovers, reports the query as
+// failed with a typed *QueryPanicError through err, and abandons the
+// scratch: a traversal interrupted at an arbitrary instruction leaves
+// visit tables, arenas and the pending write-back queue in unknown
+// states, and pooling it would hand that corruption to an unrelated
+// future query. The buffered write-backs die with it — nothing was
+// materialised, so the summary cache stays byte-identical (the same
+// guarantee error aborts established in discardPending, extended to
+// panics).
+func quarantineRelease(sc *Scratch, m *Metrics, nodes int, v pag.NodeID, cc intstack.ID, err *error) {
+	if r := recover(); r != nil {
+		atomic.AddInt64(&m.Failed, 1)
+		*err = newQueryPanicError(v, cc, r)
+		return
+	}
+	if sc.completed {
+		sc.completed = false
+		putScratch(sc, nodes)
+	}
 }
 
 // retainLimit is the largest per-buffer capacity worth keeping pooled for

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"slices"
 
+	"dynsum/internal/faultinject"
 	"dynsum/internal/pag"
 )
 
@@ -107,10 +108,45 @@ func (o *Overlay) Fraction() float64 {
 	return 0
 }
 
+// staged is the read-only plan one epoch compiles to: everything Apply's
+// commit phase installs, computed against the pre-epoch overlay without
+// mutating a single field. If Apply aborts anywhere up to (and including)
+// the stage→commit boundary — the OverlayApply injection point — the
+// overlay is exactly its pre-epoch self and the log is still applicable.
+type staged struct {
+	preMethods, preNodes int
+
+	dropped map[pag.Edge]bool
+	added   []pag.Edge
+
+	touched      map[pag.MethodID]bool
+	flipped      int
+	methodLinks  [][2]pag.MethodID
+	localMethods map[pag.MethodID]bool
+
+	// dissolve is the condensation-repair plan: each entry names a
+	// surviving SCC to dissolve into singletons.
+	dissolve []dissolvePlan
+
+	patch    map[pag.NodeID]bool
+	addedOut map[pag.NodeID][]pag.Edge
+	addedIn  map[pag.NodeID][]pag.Edge
+}
+
+type dissolvePlan struct {
+	rep     pag.NodeID
+	members []pag.NodeID
+}
+
 // Apply advances the overlay by one epoch with the changes recorded in l.
 // It validates the whole log first — a rejected log leaves the overlay
-// untouched — then patches the base view, repairs the condensed view
-// locally, and returns the invalidation work list. The log is consumed.
+// untouched — then runs in two phases (DESIGN.md §12): stage computes the
+// epoch's entire effect read-only (dropped and effective added edges, the
+// invalidation work list, the dissolution and patch plans), and commit
+// installs it. The OverlayApply fault-injection point sits exactly on the
+// boundary, so a fault there proves the atomicity claim: nothing staged,
+// nothing lost. The log is consumed by a successful Apply and left
+// reusable by any pre-commit abort.
 //
 // Apply is a mutator: quiesce all engines reading the overlay first, as
 // for ResetCache and the other engine mutators.
@@ -119,8 +155,191 @@ func (o *Overlay) Apply(l *Log) (ApplyStats, error) {
 	if err := l.validate(o); err != nil {
 		return ApplyStats{}, err
 	}
-	preMethods := l.baseMethods
-	preNodes := l.baseNodes
+	st := o.stage(l)
+	faultinject.Fire(faultinject.OverlayApply)
+	return o.commit(l, st), nil
+}
+
+// Broken reports that a commit phase started and did not finish: an
+// abort (panic) landed mid-mutation and the overlay's state is not
+// trustworthy. Recovery boundaries consult it to distinguish clean
+// pre-commit aborts (convert to an error, keep serving) from genuine
+// mid-commit corruption (propagate).
+func (o *Overlay) Broken() bool { return o.committing }
+
+// stage compiles the log into the epoch's plan without mutating the
+// overlay. Log-added elements are not registered yet, so their metadata
+// is resolved straight from the log where needed.
+func (o *Overlay) stage(l *Log) staged {
+	st := staged{
+		preMethods:   l.baseMethods,
+		preNodes:     l.baseNodes,
+		dropped:      make(map[pag.Edge]bool),
+		touched:      make(map[pag.MethodID]bool),
+		localMethods: make(map[pag.MethodID]bool),
+		patch:        make(map[pag.NodeID]bool),
+		addedOut:     make(map[pag.NodeID][]pag.Edge),
+		addedIn:      make(map[pag.NodeID][]pag.Edge),
+	}
+	preNodes := st.preNodes
+
+	// nodeMethod over the pre-epoch tables plus the log's own records —
+	// the staged equivalent of Overlay.nodeMethod once commit extends the
+	// tables.
+	nodeMethod := func(n pag.NodeID) pag.MethodID {
+		if int(n) >= preNodes {
+			return l.nodes[int(n)-preNodes].Method
+		}
+		return o.nodeMethod(n)
+	}
+
+	// Dropped edges: everything owned by a redefined method. The
+	// pre-epoch methodNodes index is complete for them — validate
+	// guarantees redefined methods pre-exist, and the log's own nodes
+	// carry no base edges.
+	for _, m := range l.redefined {
+		for _, n := range o.methodNodes[m] {
+			for _, e := range o.baseLocalOut(n) {
+				if o.ownerMethod(e) == m {
+					st.dropped[e] = true
+				}
+			}
+			for _, e := range o.baseGlobalOut(n) {
+				if o.ownerMethod(e) == m {
+					st.dropped[e] = true
+				}
+			}
+			for _, e := range o.baseLocalIn(n) {
+				if o.ownerMethod(e) == m {
+					st.dropped[e] = true
+				}
+			}
+			for _, e := range o.baseGlobalIn(n) {
+				if o.ownerMethod(e) == m {
+					st.dropped[e] = true
+				}
+			}
+		}
+	}
+
+	// Effective added edges: dedup within the log and against edges that
+	// are present and surviving. A log edge identical to a dropped one is
+	// a genuine re-add. An edge out of a log-added node cannot pre-exist.
+	logSeen := make(map[pag.Edge]bool, len(l.edges))
+	for _, e := range l.edges {
+		if logSeen[e] {
+			continue
+		}
+		logSeen[e] = true
+		if !st.dropped[e] && int(e.Src) < preNodes && o.hasEdgeBase(e) {
+			continue
+		}
+		if st.dropped[e] {
+			delete(st.dropped, e) // re-added by the new body: net no-op
+			continue
+		}
+		st.added = append(st.added, e)
+	}
+
+	// Invalidation: computed against the PRE-epoch state (which staging
+	// guarantees by construction — nothing has been rebuilt), so flag
+	// flips are detected exactly.
+	for _, m := range l.redefined {
+		st.touched[m] = true
+	}
+	flipped := make(map[pag.NodeID]bool)
+	markTouched := func(m pag.MethodID) {
+		if m != pag.NoMethod && int(m) < st.preMethods {
+			st.touched[m] = true
+		}
+	}
+	for _, e := range st.added {
+		if e.Kind.IsLocal() {
+			markTouched(nodeMethod(e.Src))
+			continue
+		}
+		// The flag checks read the pre-rebuild state, so several edges
+		// into one node all see the flip; flipped dedups the count per
+		// node (markTouched is idempotent anyway).
+		if int(e.Src) < preNodes && !o.HasGlobalOut(e.Src, false) {
+			flipped[e.Src] = true
+			markTouched(nodeMethod(e.Src))
+		}
+		if int(e.Dst) < preNodes && !o.HasGlobalIn(e.Dst, false) {
+			flipped[e.Dst] = true
+			markTouched(nodeMethod(e.Dst))
+		}
+		if o.methodNbrs != nil {
+			ms, md := nodeMethod(e.Src), nodeMethod(e.Dst)
+			if ms != pag.NoMethod && md != pag.NoMethod && ms != md {
+				st.methodLinks = append(st.methodLinks, [2]pag.MethodID{ms, md})
+			}
+		}
+	}
+	st.flipped = len(flipped)
+
+	// Dissolution plan: methods whose local edges changed lose their SCC
+	// collapse — a changed body voids the freeze-time cycle proof, so
+	// their nodes fall back to singleton representatives. Log-added
+	// methods have no index entry yet (and no groups); log-added nodes of
+	// redefined methods are singletons by construction. Both contribute
+	// nothing, exactly as they would post-registration.
+	for _, m := range l.redefined {
+		st.localMethods[m] = true
+	}
+	for _, e := range st.added {
+		if e.Kind.IsLocal() {
+			if m := nodeMethod(e.Src); m != pag.NoMethod {
+				st.localMethods[m] = true
+			}
+		}
+	}
+	if !o.trivial {
+		planned := make(map[pag.NodeID]bool)
+		for _, m := range sortedMethods(st.localMethods) {
+			if int(m) >= len(o.methodNodes) {
+				continue
+			}
+			for _, n := range o.methodNodes[m] {
+				r := o.rep[n]
+				if planned[r] {
+					continue
+				}
+				members, ok := o.groups[r]
+				if !ok {
+					continue
+				}
+				planned[r] = true
+				st.dissolve = append(st.dissolve, dissolvePlan{rep: r, members: members})
+			}
+		}
+	}
+
+	// Base-view patch set: endpoints of every changed edge plus every
+	// added node (their adjacency exists only in the overlay).
+	for e := range st.dropped {
+		st.patch[e.Src] = true
+		st.patch[e.Dst] = true
+	}
+	for _, e := range st.added {
+		st.patch[e.Src] = true
+		st.patch[e.Dst] = true
+		st.addedOut[e.Src] = append(st.addedOut[e.Src], e)
+		st.addedIn[e.Dst] = append(st.addedIn[e.Dst], e)
+	}
+	for i := range l.nodes {
+		st.patch[pag.NodeID(preNodes+i)] = true
+	}
+	return st
+}
+
+// commit installs a staged epoch. From its first mutation to its last it
+// holds o.committing, so an abort inside it is detectable as genuine
+// corruption (Broken); everything fallible about the epoch already
+// happened during staging.
+func (o *Overlay) commit(l *Log, st staged) ApplyStats {
+	o.committing = true
+	preNodes := st.preNodes
 
 	// 1. Metadata: methods, call sites and node records join the
 	// overlay's side tables; the base graph is never written.
@@ -142,150 +361,28 @@ func (o *Overlay) Apply(l *Log) (ApplyStats, error) {
 		}
 	}
 
-	// 2. Dropped edges: everything owned by a redefined method.
-	dropped := make(map[pag.Edge]bool)
-	for _, m := range l.redefined {
-		for _, n := range o.methodNodes[m] {
-			for _, e := range o.baseLocalOut(n) {
-				if o.ownerMethod(e) == m {
-					dropped[e] = true
-				}
-			}
-			for _, e := range o.baseGlobalOut(n) {
-				if o.ownerMethod(e) == m {
-					dropped[e] = true
-				}
-			}
-			for _, e := range o.baseLocalIn(n) {
-				if o.ownerMethod(e) == m {
-					dropped[e] = true
-				}
-			}
-			for _, e := range o.baseGlobalIn(n) {
-				if o.ownerMethod(e) == m {
-					dropped[e] = true
-				}
-			}
-		}
+	// 2. Reverse-dependency sketch links for the epoch's global edges.
+	for _, lk := range st.methodLinks {
+		o.linkMethods(lk[0], lk[1])
 	}
 
-	// 3. Effective added edges: dedup within the log and against edges
-	// that are present and surviving. A log edge identical to a dropped
-	// one is a genuine re-add.
-	var added []pag.Edge
-	logSeen := make(map[pag.Edge]bool, len(l.edges))
-	for _, e := range l.edges {
-		if logSeen[e] {
-			continue
-		}
-		logSeen[e] = true
-		if !dropped[e] && o.hasEdgeBase(e) {
-			continue
-		}
-		if dropped[e] {
-			delete(dropped, e) // re-added by the new body: net no-op
-			continue
-		}
-		added = append(added, e)
-	}
-
-	// 4. Invalidation: compute against the PRE-epoch state, before any
-	// adjacency is rebuilt, so flag flips are detected exactly.
-	touched := make(map[pag.MethodID]bool)
-	for _, m := range l.redefined {
-		touched[m] = true
-	}
-	flipped := make(map[pag.NodeID]bool)
-	markTouched := func(m pag.MethodID) {
-		if m != pag.NoMethod && int(m) < preMethods {
-			touched[m] = true
-		}
-	}
-	for _, e := range added {
-		if e.Kind.IsLocal() {
-			markTouched(o.nodeMethod(e.Src))
-			continue
-		}
-		// The flag checks read the pre-rebuild state, so several edges
-		// into one node all see the flip; flipped dedups the count per
-		// node (markTouched is idempotent anyway).
-		if int(e.Src) < preNodes && !o.HasGlobalOut(e.Src, false) {
-			flipped[e.Src] = true
-			markTouched(o.nodeMethod(e.Src))
-		}
-		if int(e.Dst) < preNodes && !o.HasGlobalIn(e.Dst, false) {
-			flipped[e.Dst] = true
-			markTouched(o.nodeMethod(e.Dst))
-		}
-		if o.methodNbrs != nil {
-			ms, md := o.nodeMethod(e.Src), o.nodeMethod(e.Dst)
-			if ms != pag.NoMethod && md != pag.NoMethod && ms != md {
-				o.linkMethods(ms, md)
-			}
-		}
-	}
-
-	// 5. Condensation repair, part 1: methods whose local edges changed
-	// lose their SCC collapse — a changed body voids the freeze-time
-	// cycle proof, so their nodes fall back to singleton representatives.
-	dissolvedThisEpoch := 0
+	// 3. Condensation repair, part 1: dissolve the planned SCCs.
 	var dissolved []pag.NodeID
-	localMethods := make(map[pag.MethodID]bool)
-	for _, m := range l.redefined {
-		localMethods[m] = true
-	}
-	for _, e := range added {
-		if e.Kind.IsLocal() {
-			if m := o.nodeMethod(e.Src); m != pag.NoMethod {
-				localMethods[m] = true
-			}
+	for _, p := range st.dissolve {
+		for _, mb := range p.members {
+			o.rep[mb] = mb
 		}
+		dissolved = append(dissolved, p.members...)
+		delete(o.groups, p.rep)
 	}
-	if !o.trivial {
-		for _, m := range sortedMethods(localMethods) {
-			if int(m) >= len(o.methodNodes) {
-				continue
-			}
-			for _, n := range o.methodNodes[m] {
-				r := o.rep[n]
-				members, ok := o.groups[r]
-				if !ok {
-					continue
-				}
-				for _, mb := range members {
-					o.rep[mb] = mb
-				}
-				dissolved = append(dissolved, members...)
-				delete(o.groups, r)
-				dissolvedThisEpoch++
-			}
-		}
-		o.dissolvedSCCs += dissolvedThisEpoch
+	o.dissolvedSCCs += len(st.dissolve)
+
+	// 4. Base-view rebuild of the patch set.
+	for _, n := range sortedNodes(st.patch) {
+		o.rebuildBase(n, st.dropped, st.addedOut[n], st.addedIn[n])
 	}
 
-	// 6. Base-view patch set and rebuild: endpoints of every changed edge
-	// plus every added node (their adjacency exists only here).
-	patch := make(map[pag.NodeID]bool)
-	for e := range dropped {
-		patch[e.Src] = true
-		patch[e.Dst] = true
-	}
-	addedOut := make(map[pag.NodeID][]pag.Edge)
-	addedIn := make(map[pag.NodeID][]pag.Edge)
-	for _, e := range added {
-		patch[e.Src] = true
-		patch[e.Dst] = true
-		addedOut[e.Src] = append(addedOut[e.Src], e)
-		addedIn[e.Dst] = append(addedIn[e.Dst], e)
-	}
-	for i := range l.nodes {
-		patch[pag.NodeID(preNodes+i)] = true
-	}
-	for _, n := range sortedNodes(patch) {
-		o.rebuildBase(n, dropped, addedOut[n], addedIn[n])
-	}
-
-	// 7. Condensation repair, part 2: rebuild the condensed spans whose
+	// 5. Condensation repair, part 2: rebuild the condensed spans whose
 	// contents this epoch invalidated — the repaired representatives of
 	// every patched node and every node of a local-change method, plus
 	// the representatives global-edge-adjacent to dissolved members
@@ -293,10 +390,10 @@ func (o *Overlay) Apply(l *Log) (ApplyStats, error) {
 	rebuilt := 0
 	if !o.trivial {
 		condSet := make(map[pag.NodeID]bool)
-		for n := range patch {
+		for n := range st.patch {
 			condSet[o.rep[n]] = true
 		}
-		for m := range localMethods {
+		for m := range st.localMethods {
 			if m == pag.NoMethod || int(m) >= len(o.methodNodes) {
 				continue
 			}
@@ -321,41 +418,42 @@ func (o *Overlay) Apply(l *Log) (ApplyStats, error) {
 		o.rebuiltReps += rebuilt
 	}
 
-	// 8. Bookkeeping and the epoch's report.
-	o.droppedEdges += len(dropped)
-	for n := range patch {
+	// 6. Bookkeeping and the epoch's report.
+	o.droppedEdges += len(st.dropped)
+	for n := range st.patch {
 		if m := o.nodeMethod(n); m != pag.NoMethod {
 			o.patchedMethods[m] = true
 		}
 	}
 	o.epoch++
 
-	st := ApplyStats{
+	stats := ApplyStats{
 		Epoch:            o.epoch,
 		NewMethods:       len(l.methods),
 		NewCallSites:     len(l.callSites),
 		NewNodes:         len(l.nodes),
-		NewEdges:         len(added),
-		DroppedEdges:     len(dropped),
+		NewEdges:         len(st.added),
+		DroppedEdges:     len(st.dropped),
 		RedefinedMethods: len(l.redefined),
-		TouchedMethods:   sortedMethods(touched),
-		FlagFlips:        len(flipped),
-		DissolvedSCCs:    dissolvedThisEpoch,
+		TouchedMethods:   sortedMethods(st.touched),
+		FlagFlips:        st.flipped,
+		DissolvedSCCs:    len(st.dissolve),
 		RebuiltReps:      rebuilt,
 		OverlayFraction:  o.Fraction(),
 	}
 	// The sketch bound: methods adjacent (over global edges) to the
 	// touched set that a cascading invalidator would also have dropped.
 	deps := make(map[pag.MethodID]bool)
-	for _, m := range st.TouchedMethods {
+	for _, m := range stats.TouchedMethods {
 		for nb := range o.methodNbrs[m] {
-			if !touched[nb] {
+			if !st.touched[nb] {
 				deps[nb] = true
 			}
 		}
 	}
-	st.DependentMethods = len(deps)
-	return st, nil
+	stats.DependentMethods = len(deps)
+	o.committing = false
+	return stats
 }
 
 // rebuildBase installs n's base-view replacement adjacency: current edges
@@ -484,6 +582,11 @@ func (o *Overlay) Compact() (*pag.Graph, error) {
 		nd := o.Node(pag.NodeID(n))
 		ng.AddNode(nd.Kind, nd.Method, nd.Class, nd.Name)
 	}
+	// Crash-consistency probe: the rebuild so far has only touched ng —
+	// the overlay and its base graph are read-only throughout Compact, so
+	// an abort here (or anywhere else in the rebuild) must leave the
+	// pre-compaction engine fully usable.
+	faultinject.Fire(faultinject.CompactRebuild)
 	for n := 0; n < total; n++ {
 		for _, e := range o.baseLocalOut(pag.NodeID(n)) {
 			ng.AddEdge(e)

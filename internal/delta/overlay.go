@@ -110,6 +110,11 @@ type Overlay struct {
 	droppedEdges  int // cumulative
 	dissolvedSCCs int // cumulative
 	rebuiltReps   int // cumulative
+
+	// committing is held across Apply's commit phase: true means an epoch
+	// is (or was, if an abort escaped) mid-installation and the overlay's
+	// invariants cannot be trusted. See Broken.
+	committing bool
 }
 
 // patchAdj is one patched node's replacement adjacency: full out/in edge

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFireWithoutScheduleIsNoop(t *testing.T) {
+	Deactivate()
+	for _, p := range Points() {
+		Fire(p) // must not panic
+	}
+	if Enabled() {
+		t.Fatal("Enabled() true with no schedule active")
+	}
+}
+
+func TestCountingOnlySchedule(t *testing.T) {
+	s := NewSchedule()
+	Activate(s)
+	defer Deactivate()
+	for i := 0; i < 5; i++ {
+		Fire(PPTAExpand)
+	}
+	Fire(CachePutBatch)
+	if got := s.Arrivals(PPTAExpand); got != 5 {
+		t.Fatalf("PPTAExpand arrivals = %d, want 5", got)
+	}
+	if got := s.Arrivals(CachePutBatch); got != 1 {
+		t.Fatalf("CachePutBatch arrivals = %d, want 1", got)
+	}
+	if got := s.Arrivals(OverlayApply); got != 0 {
+		t.Fatalf("OverlayApply arrivals = %d, want 0", got)
+	}
+}
+
+func TestArmedScheduleFiresAtExactArrival(t *testing.T) {
+	s := NewSchedule()
+	s.Arm(WriteBackCommit, 3)
+	Activate(s)
+	defer Deactivate()
+
+	Fire(WriteBackCommit)
+	Fire(WriteBackCommit)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("third arrival did not fire")
+			}
+			f, ok := AsFault(r)
+			if !ok {
+				t.Fatalf("panic value %T, want *Fault", r)
+			}
+			if f.Point != WriteBackCommit || f.Arrival != 3 {
+				t.Fatalf("fault = %+v, want point %v arrival 3", f, WriteBackCommit)
+			}
+			var asErr error = f
+			var target *Fault
+			if !errors.As(asErr, &target) {
+				t.Fatal("errors.As failed on *Fault")
+			}
+		}()
+		Fire(WriteBackCommit)
+	}()
+
+	// Later arrivals do not re-fire (one-shot per armed index).
+	Fire(WriteBackCommit)
+	if got := s.Arrivals(WriteBackCommit); got != 4 {
+		t.Fatalf("arrivals = %d, want 4", got)
+	}
+}
+
+func TestArmArrivalsDeterministic(t *testing.T) {
+	a, b := NewSchedule(), NewSchedule()
+	a.ArmArrivals(42, 100)
+	b.ArmArrivals(42, 100)
+	for _, p := range Points() {
+		if x, y := a.target[p].Load(), b.target[p].Load(); x != y {
+			t.Fatalf("point %v: seeds diverge (%d vs %d)", p, x, y)
+		}
+		if x := a.target[p].Load(); x < 1 || x > 100 {
+			t.Fatalf("point %v: armed arrival %d out of [1,100]", p, x)
+		}
+	}
+}
+
+func TestConcurrentFireCountsEveryArrival(t *testing.T) {
+	s := NewSchedule()
+	Activate(s)
+	defer Deactivate()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Fire(PPTAExpand)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Arrivals(PPTAExpand); got != goroutines*per {
+		t.Fatalf("arrivals = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestPointStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Points() {
+		name := p.String()
+		if name == "" || seen[name] {
+			t.Fatalf("point %d has empty or duplicate name %q", p, name)
+		}
+		seen[name] = true
+	}
+}

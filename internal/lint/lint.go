@@ -68,6 +68,7 @@ func Passes() []Pass {
 		frozenmutPass{},
 		viewawarePass{},
 		scratchpinPass{},
+		scratchreturnPass{},
 		metricsdirectPass{},
 	}
 }
@@ -232,6 +233,22 @@ func isNamed(t types.Type, pkgPath, name string) bool {
 	}
 	obj := n.Obj()
 	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isNamedInPkgNamed is isNamed keyed on the declaring package's NAME
+// rather than its import path: passes whose anchor type is unexported
+// (so the testdata corpus must declare its own copy under a synthetic
+// path) match any package named pkgName.
+func isNamedInPkgNamed(t types.Type, pkgName, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
 }
 
 // hasSlice reports whether t contains a slice at the top level: a slice

@@ -59,6 +59,7 @@ func TestPassesFireOnTestdata(t *testing.T) {
 		{"frozenmut", "frozenmut"},
 		{"viewaware", "viewaware"},
 		{"scratchpin", "scratchpin"},
+		{"scratchreturn", "scratchreturn"},
 		{"metricsdirect", "metricsdirect"},
 	}
 	for _, tc := range cases {
@@ -149,6 +150,8 @@ func TestPassScoping(t *testing.T) {
 		{"viewaware", "not elsewhere", false, "harness"},
 		{"scratchpin", "core only", true, "core"},
 		{"scratchpin", "not elsewhere", false, "pag"},
+		{"scratchreturn", "core only", true, "core"},
+		{"scratchreturn", "not elsewhere", false, "delta"},
 		{"metricsdirect", "everywhere", true, "stasum"},
 	} {
 		var p Pass

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// scratchreturnPass enforces the quarantine contract on the scratch pool
+// (DESIGN.md §12): a Scratch may only re-enter the pool through a
+// putScratch call dominated by its health check — the then-branch of an
+// `if sc.completed` test. A Scratch from an aborted or panicked query is
+// in an unknown intermediate state; pooling it would hand poisoned arena
+// storage to the next query, so the single sanctioned return site
+// (quarantineRelease) gates on the flag the driver sets only after a
+// clean finish. The pass is structural, not a full dominator analysis:
+// the call must be lexically inside the then-branch of an if whose
+// condition reads a Scratch's completed field un-negated. A negated
+// check (`if !sc.completed`) guards the unhealthy path and does not
+// count, and a function literal resets the guard — a closure may run
+// long after the health the enclosing branch proved has expired.
+type scratchreturnPass struct{}
+
+func (scratchreturnPass) Name() string { return "scratchreturn" }
+func (scratchreturnPass) Doc() string {
+	return "putScratch only behind the Scratch completed health check"
+}
+
+func (scratchreturnPass) AppliesTo(pkgName, pkgPath string) bool { return pkgName == "core" }
+
+func (p scratchreturnPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			p.inspect(u, fn.Body, false, &out)
+		}
+	}
+	return out
+}
+
+// inspect walks root reporting unguarded putScratch calls; guarded is
+// whether root sits inside the then-branch of a completed health check.
+// root is never itself an *ast.IfStmt (handleIf decomposes those).
+func (p scratchreturnPass) inspect(u *Unit, root ast.Node, guarded bool, out *[]Diagnostic) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			p.handleIf(u, n, guarded, out)
+			return false
+		case *ast.FuncLit:
+			// A closure outlives the branch that proved the scratch
+			// healthy; the guard does not transfer.
+			p.inspect(u, n.Body, false, out)
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "putScratch" && !guarded {
+				*out = append(*out, Diagnostic{
+					Pos:  u.Fset.Position(n.Pos()),
+					Pass: "scratchreturn",
+					Message: "putScratch call not dominated by the completed health check — " +
+						"a Scratch from an aborted or panicked query must never re-enter the pool; " +
+						"gate the return on `if sc.completed`",
+				})
+			}
+		}
+		return true
+	})
+}
+
+// handleIf recurses into an if statement: only the then-branch of a
+// positive completed check elevates the guard; the condition, init and
+// else keep the enclosing state.
+func (p scratchreturnPass) handleIf(u *Unit, s *ast.IfStmt, guarded bool, out *[]Diagnostic) {
+	p.inspect(u, s.Init, guarded, out)
+	p.inspect(u, s.Cond, guarded, out)
+	p.inspect(u, s.Body, guarded || p.condChecksCompleted(u, s.Cond), out)
+	switch e := s.Else.(type) {
+	case nil:
+	case *ast.IfStmt:
+		p.handleIf(u, e, guarded, out)
+	default:
+		p.inspect(u, e, guarded, out)
+	}
+}
+
+// condChecksCompleted reports whether cond reads a Scratch's completed
+// field un-negated, so its then-branch is the healthy path. Compound
+// conditions (`n > 0 && sc.completed`) count; `!sc.completed` does not.
+func (p scratchreturnPass) condChecksCompleted(u *Unit, cond ast.Expr) bool {
+	ok := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if ue, isNot := n.(*ast.UnaryExpr); isNot && ue.Op == token.NOT && p.isCompletedSel(u, ue.X) {
+			return false // negated: guards the unhealthy path
+		}
+		if e, isExpr := n.(ast.Expr); isExpr && p.isCompletedSel(u, e) {
+			ok = true
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// isCompletedSel reports whether e (paren-stripped) is `x.completed`
+// with x a core Scratch. The field is unexported, so the testdata corpus
+// declares its own Scratch; accept any named type Scratch from a package
+// named core.
+func (p scratchreturnPass) isCompletedSel(u *Unit, e ast.Expr) bool {
+	for {
+		pe, isParen := e.(*ast.ParenExpr)
+		if !isParen {
+			break
+		}
+		e = pe.X
+	}
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "completed" {
+		return false
+	}
+	t := u.Info.TypeOf(sel.X)
+	return t != nil && isNamedInPkgNamed(t, "core", "Scratch")
+}

@@ -1,0 +1,78 @@
+// Seeded-violation corpus for the scratchreturn pass: putScratch calls
+// not dominated by the completed health check. Scoped by package name;
+// the real Scratch's completed field and putScratch are unexported, so
+// this corpus declares local equivalents — the pass matches the type by
+// name (a Scratch declared in a package named core).
+package core
+
+type Scratch struct {
+	completed bool
+	arena     []int
+}
+
+var pool []*Scratch
+
+func putScratch(sc *Scratch, nodes int) { pool = append(pool, sc) }
+
+func unguarded(sc *Scratch, nodes int) {
+	putScratch(sc, nodes) // want "not dominated by the completed health check"
+}
+
+// The sanctioned shape: the real quarantineRelease site.
+func guarded(sc *Scratch, nodes int) {
+	if sc.completed {
+		sc.completed = false
+		putScratch(sc, nodes)
+	}
+}
+
+// A compound condition still proves health on its then-branch.
+func guardedCompound(sc *Scratch, nodes int) {
+	if nodes > 0 && sc.completed {
+		putScratch(sc, nodes)
+	}
+}
+
+// Deeper nesting under the health check stays guarded.
+func guardedNested(sc *Scratch, nodes int) {
+	if sc.completed {
+		if nodes > 0 {
+			putScratch(sc, nodes)
+		}
+	}
+}
+
+// A negated check guards the UNHEALTHY path: pooling there is exactly
+// the poisoned-scratch bug the pass exists to catch.
+func negated(sc *Scratch, nodes int) {
+	if !sc.completed {
+		putScratch(sc, nodes) // want "not dominated by the completed health check"
+	}
+}
+
+// The else-branch of a health check is the unhealthy path too.
+func elseBranch(sc *Scratch, nodes int) {
+	if sc.completed {
+		putScratch(sc, nodes)
+	} else {
+		putScratch(sc, nodes) // want "not dominated by the completed health check"
+	}
+}
+
+// A closure outlives the branch that proved health; the guard does not
+// transfer into a function literal.
+func closureEscape(sc *Scratch, nodes int) func() {
+	if sc.completed {
+		return func() {
+			putScratch(sc, nodes) // want "not dominated by the completed health check"
+		}
+	}
+	return nil
+}
+
+// A check of some other boolean field is not a health check.
+func wrongField(sc *Scratch, nodes int, ready bool) {
+	if ready {
+		putScratch(sc, nodes) // want "not dominated by the completed health check"
+	}
+}
