@@ -42,6 +42,8 @@ lint:
 fuzz:
 	$(GO) test ./internal/check -fuzz FuzzFreezeValidate -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/check -fuzz FuzzDeltaApplyValidate -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/persist -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/persist/journal -run '^$$' -fuzz FuzzJournalScan -fuzztime $(FUZZ_TIME)
 
 # faultcheck runs the query-lifecycle hardening suite: deterministic
 # fault-injection crash-consistency sweeps (internal/enginetest) plus
@@ -49,6 +51,14 @@ fuzz:
 .PHONY: faultcheck
 faultcheck:
 	$(GO) test -run 'Fault|Cancel|Panic|Quarantine|Retry' -count=1 ./internal/enginetest/ ./internal/core/
+
+# persistcheck runs the persistence layer end to end: the snapshot and
+# journal unit suites (with the committed fuzz corpora replayed in the
+# seed phase) and the crash-recovery sweep against never-crashed oracles.
+.PHONY: persistcheck
+persistcheck:
+	$(GO) test -count=1 ./internal/persist/...
+	$(GO) test -run 'Persist' -count=1 ./internal/enginetest/
 
 .PHONY: bench
 bench:

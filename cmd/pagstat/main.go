@@ -10,6 +10,7 @@
 //	pagstat -dot prog.mj > prog.dot
 //	pagstat -validate prog.mj                # deep structural validation
 //	pagstat -bench [-scale 0.02] [-seed 1]   # condensation stats per benchmark
+//	pagstat -snapshot <dir>                  # verify + report a persistent store
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"dynsum/internal/harness"
 	"dynsum/internal/mj"
 	"dynsum/internal/pag"
+	"dynsum/internal/persist"
 )
 
 func main() {
@@ -35,8 +37,13 @@ func main() {
 	bench := flag.Bool("bench", false, "report condensation stats for every benchmark profile (incl. cyclic variants)")
 	scale := flag.Float64("scale", 0.02, "benchmark scale factor for -bench")
 	seed := flag.Int64("seed", 1, "generator seed for -bench")
+	snapshot := flag.String("snapshot", "", "open the persistent store at this directory (verifying checksums and replaying its journal) and report its state")
 	flag.Parse()
 
+	if *snapshot != "" {
+		snapshotStats(*snapshot)
+		return
+	}
 	if *bench {
 		benchStats(*scale, *seed)
 		fmt.Println()
@@ -97,6 +104,28 @@ func validateProgram(prog *pag.Program) {
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// snapshotStats recovers the persistent store at dir — full checksum
+// verification, journal replay, structural validation — and reports what
+// it holds. Any recovery failure (including the typed corruption errors)
+// exits non-zero, so the flag doubles as an offline fsck for store
+// directories.
+func snapshotStats(dir string) {
+	st, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pagstat: open store %s:\n%v\n", dir, err)
+		os.Exit(1)
+	}
+	defer st.Close()
+	prog := st.Program()
+	s := prog.G.Stats()
+	fmt.Printf("store: %s\nepoch: %d\nprogram: %s\n%s\n%s\n", dir, st.Epoch(), prog.Name, s, prog.G.Layout())
+	fmt.Printf("condense: %s\n", prog.G.CondenseStats())
+	fmt.Printf("call sites: %d\nquery sites: %d casts, %d derefs, %d factories\n",
+		prog.G.NumCallSites(), len(prog.Casts), len(prog.Derefs), len(prog.Factories))
+	fmt.Printf("warm summaries: %d\n", st.Engine().SummaryCount())
+	fmt.Println("integrity: ok")
 }
 
 func form(g *pag.Graph) string {

@@ -39,6 +39,7 @@ import (
 	"dynsum/internal/intstack"
 	"dynsum/internal/mj"
 	"dynsum/internal/pag"
+	"dynsum/internal/persist"
 	"dynsum/internal/refine"
 	"dynsum/internal/stasum"
 )
@@ -95,6 +96,24 @@ type (
 	// FrozenError is the panic value of a post-freeze graph mutation; it
 	// wraps ErrFrozen and names the offending operation and target.
 	FrozenError = pag.FrozenError
+	// PersistentStore is a program plus engine backed by a durable on-disk snapshot
+	// and delta journal (DESIGN.md §13): Append journals each epoch before
+	// it is made queryable, Compact rotates snapshot and journal, and Open
+	// recovers the exact durable epoch after a crash.
+	PersistentStore = persist.Store
+	// StoreOptions configures a persistent store: engine Config and
+	// variants, the journal fsync policy, and an optional shared context
+	// table for cross-engine answer comparison.
+	StoreOptions = persist.Options
+	// CorruptSnapshotError reports fatal snapshot damage: a checksum,
+	// framing or range violation inside the snapshot file. The journal is
+	// unaffected, but the store cannot open.
+	CorruptSnapshotError = persist.CorruptSnapshotError
+	// CorruptJournalError reports fatal mid-journal damage: a record that
+	// is fully present but fails its CRC (or replays inconsistently). A
+	// merely torn final record is NOT this error — it is truncated silently
+	// and the store opens at the preceding epoch.
+	CorruptJournalError = persist.CorruptJournalError
 
 	// Identifier and edge types re-exported so DeltaLog entries can be
 	// constructed against the facade alone.
@@ -147,6 +166,15 @@ const (
 //     operation was interrupted mid-step; its partial state was discarded,
 //     never pooled or committed, so the engine remains byte-identical to
 //     the state before the call.
+//
+// Persistence failures follow the same two classes. Recoverable damage —
+// a torn snapshot temp file, a torn final journal record, the signature of
+// a crash mid-write — is absorbed silently: Open discards the torn bytes
+// and recovers the last durable epoch. Fatal damage — a checksum or
+// framing violation inside bytes a crash cannot produce — surfaces as a
+// typed *CorruptSnapshotError or *CorruptJournalError (match with
+// errors.As), or ErrSnapshotVersion for a format-version skew; the store
+// refuses to open rather than replay corrupted state.
 var (
 	// ErrBudget is returned when a query exceeds its traversal budget.
 	ErrBudget = core.ErrBudget
@@ -160,6 +188,9 @@ var (
 	ErrNotEvolved = core.ErrNotEvolved
 	// ErrFrozen is the sentinel wrapped by every *FrozenError panic.
 	ErrFrozen = pag.ErrFrozen
+	// ErrSnapshotVersion is matched (errors.Is) by Open's error when the
+	// snapshot was written by an incompatible format version.
+	ErrSnapshotVersion = persist.ErrSnapshotVersion
 )
 
 // IsPartial reports whether err is a partial-abort error (ErrBudget,
@@ -228,6 +259,34 @@ func ApplyDelta(engine *core.DynSum, log *DeltaLog) (DeltaResult, error) {
 // automatically past Config.CompactFraction; call it directly to force the
 // merge at a quiet moment.
 func Compact(engine *core.DynSum) error { return engine.Compact() }
+
+// Save persists prog (which must be frozen) as a fresh store in dir — a
+// durable epoch-0 snapshot plus an empty journal — and closes it. Use
+// OpenStore to resume, or CreateStore to keep the store live for appends.
+func Save(dir string, prog *Program) error {
+	st, err := persist.Create(dir, prog, StoreOptions{})
+	if err != nil {
+		return err
+	}
+	return st.Close()
+}
+
+// CreateStore initialises a persistent store in dir from a frozen program
+// and returns it live: Engine() serves queries, Append journals delta
+// epochs durably before applying them, Compact rotates the snapshot.
+func CreateStore(dir string, prog *Program, opts StoreOptions) (*PersistentStore, error) {
+	return persist.Create(dir, prog, opts)
+}
+
+// OpenStore recovers the store in dir: the snapshot is loaded with every
+// checksum verified, the journal is replayed epoch by epoch through the
+// engine's delta machinery, and the result is validated structurally
+// before the store is returned. A torn journal tail (crash mid-append) is
+// truncated silently; real corruption fails with a typed error (see the
+// error-taxonomy block above).
+func OpenStore(dir string, opts StoreOptions) (*PersistentStore, error) {
+	return persist.Open(dir, opts)
+}
 
 // BatchPointsTo answers a batch of whole-program points-to queries (empty
 // initial context) on engine, fanned out across workers goroutines sharing

@@ -1,0 +1,298 @@
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynsum/internal/pag"
+)
+
+// This file gives Log a wire form for the persistence journal
+// (internal/persist/journal): one epoch of recorded program changes as a
+// flat little-endian record, including the base counts the log was
+// positioned at so a decoded log replays through the exact validate()
+// gate a live one does. Encoding and decoding live in this package
+// because a Log's fields are deliberately unexported.
+//
+// The decoder is panic-free on arbitrary input: every read is
+// bounds-checked and every count is verified against the bytes that
+// remain before allocating, so a corrupted or adversarial record costs a
+// typed error, never an out-of-range index or an absurd allocation.
+
+// logWireVersion guards the record layout; bump on any change.
+const logWireVersion = 1
+
+// AppendBinary appends l's wire encoding to dst and returns the extended
+// slice.
+func (l *Log) AppendBinary(dst []byte) []byte {
+	dst = append(dst, logWireVersion)
+	dst = appendU32(dst, uint32(l.baseMethods))
+	dst = appendU32(dst, uint32(l.baseNodes))
+	dst = appendU32(dst, uint32(l.baseCallSites))
+
+	dst = appendU32(dst, uint32(len(l.methods)))
+	for _, m := range l.methods {
+		dst = appendString(dst, m.Name)
+		dst = appendU32(dst, uint32(m.Class))
+	}
+	dst = appendU32(dst, uint32(len(l.callSites)))
+	for _, cs := range l.callSites {
+		dst = appendU32(dst, uint32(cs.Caller))
+		dst = appendString(dst, cs.Name)
+		dst = appendU32(dst, uint32(len(cs.Targets)))
+		for _, t := range cs.Targets {
+			dst = appendU32(dst, uint32(t))
+		}
+	}
+	dst = appendU32(dst, uint32(len(l.nodes)))
+	for _, n := range l.nodes {
+		dst = append(dst, byte(n.Kind))
+		dst = appendU32(dst, uint32(n.Method))
+		dst = appendU32(dst, uint32(n.Class))
+		dst = appendString(dst, n.Name)
+	}
+	dst = appendU32(dst, uint32(len(l.edges)))
+	for _, e := range l.edges {
+		dst = appendU32(dst, uint32(e.Src))
+		dst = appendU32(dst, uint32(e.Dst))
+		dst = append(dst, byte(e.Kind))
+		dst = appendU32(dst, uint32(e.Label))
+	}
+	dst = appendU32(dst, uint32(len(l.redefined)))
+	for _, m := range l.redefined {
+		dst = appendU32(dst, uint32(m))
+	}
+	return dst
+}
+
+// DecodeLog parses one wire-encoded Log. Trailing bytes are an error: a
+// record either decodes exactly or is corrupt.
+func DecodeLog(data []byte) (*Log, error) {
+	c := cursor{data: data}
+	v, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != logWireVersion {
+		return nil, fmt.Errorf("delta: log wire version %d, want %d", v, logWireVersion)
+	}
+	l := new(Log)
+	if l.baseMethods, err = c.count(); err != nil {
+		return nil, err
+	}
+	if l.baseNodes, err = c.count(); err != nil {
+		return nil, err
+	}
+	if l.baseCallSites, err = c.count(); err != nil {
+		return nil, err
+	}
+
+	// Element minimum sizes on the wire, used to bound allocations.
+	nm, err := c.sliceLen(1 + 4) // name len + class
+	if err != nil {
+		return nil, err
+	}
+	l.methods = make([]pag.Method, 0, nm)
+	for i := 0; i < nm; i++ {
+		var m pag.Method
+		if m.Name, err = c.str(); err != nil {
+			return nil, err
+		}
+		var cl uint32
+		if cl, err = c.u32(); err != nil {
+			return nil, err
+		}
+		m.Class = pag.ClassID(cl)
+		l.methods = append(l.methods, m)
+	}
+
+	ncs, err := c.sliceLen(4 + 1 + 4)
+	if err != nil {
+		return nil, err
+	}
+	l.callSites = make([]pag.CallSite, 0, ncs)
+	for i := 0; i < ncs; i++ {
+		var cs pag.CallSite
+		var caller uint32
+		if caller, err = c.u32(); err != nil {
+			return nil, err
+		}
+		cs.Caller = pag.MethodID(caller)
+		if cs.Name, err = c.str(); err != nil {
+			return nil, err
+		}
+		var nt int
+		if nt, err = c.sliceLen(4); err != nil {
+			return nil, err
+		}
+		if nt > 0 {
+			cs.Targets = make([]pag.MethodID, 0, nt)
+		}
+		for j := 0; j < nt; j++ {
+			var t uint32
+			if t, err = c.u32(); err != nil {
+				return nil, err
+			}
+			cs.Targets = append(cs.Targets, pag.MethodID(t))
+		}
+		l.callSites = append(l.callSites, cs)
+	}
+
+	nn, err := c.sliceLen(1 + 4 + 4 + 1)
+	if err != nil {
+		return nil, err
+	}
+	l.nodes = make([]pag.Node, 0, nn)
+	for i := 0; i < nn; i++ {
+		var nd pag.Node
+		var kind uint8
+		if kind, err = c.u8(); err != nil {
+			return nil, err
+		}
+		nd.Kind = pag.NodeKind(kind)
+		var mth, cl uint32
+		if mth, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if cl, err = c.u32(); err != nil {
+			return nil, err
+		}
+		nd.Method = pag.MethodID(mth)
+		nd.Class = pag.ClassID(cl)
+		if nd.Name, err = c.str(); err != nil {
+			return nil, err
+		}
+		l.nodes = append(l.nodes, nd)
+	}
+
+	ne, err := c.sliceLen(4 + 4 + 1 + 4)
+	if err != nil {
+		return nil, err
+	}
+	l.edges = make([]pag.Edge, 0, ne)
+	for i := 0; i < ne; i++ {
+		var src, dst, label uint32
+		var kind uint8
+		if src, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if dst, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if kind, err = c.u8(); err != nil {
+			return nil, err
+		}
+		if label, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if int(kind) >= pag.NumEdgeKinds {
+			return nil, fmt.Errorf("delta: log edge %d has invalid kind %d", i, kind)
+		}
+		l.edges = append(l.edges, pag.Edge{
+			Src: pag.NodeID(src), Dst: pag.NodeID(dst),
+			Kind: pag.EdgeKind(kind), Label: int32(label),
+		})
+	}
+
+	nr, err := c.sliceLen(4)
+	if err != nil {
+		return nil, err
+	}
+	l.redefined = make([]pag.MethodID, 0, nr)
+	for i := 0; i < nr; i++ {
+		var m uint32
+		if m, err = c.u32(); err != nil {
+			return nil, err
+		}
+		l.redefined = append(l.redefined, pag.MethodID(m))
+	}
+
+	if len(c.data) != c.off {
+		return nil, fmt.Errorf("delta: log record has %d trailing bytes", len(c.data)-c.off)
+	}
+	return l, nil
+}
+
+// cursor is the bounds-checked reader behind DecodeLog.
+type cursor struct {
+	data []byte
+	off  int
+}
+
+func (c *cursor) u8() (uint8, error) {
+	if c.off+1 > len(c.data) {
+		return 0, fmt.Errorf("delta: log record truncated at offset %d", c.off)
+	}
+	v := c.data[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.off+4 > len(c.data) {
+		return 0, fmt.Errorf("delta: log record truncated at offset %d", c.off)
+	}
+	v := binary.LittleEndian.Uint32(c.data[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+// count reads a non-negative int-sized u32.
+func (c *cursor) count() (int, error) {
+	v, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(v) > int64(int32(^uint32(0)>>1)) {
+		return 0, fmt.Errorf("delta: log count %d out of range", v)
+	}
+	return int(v), nil
+}
+
+// sliceLen reads an element count and verifies that many elements of at
+// least minSize bytes can still follow, so corrupted counts cannot drive
+// huge speculative allocations.
+func (c *cursor) sliceLen(minSize int) (int, error) {
+	n, err := c.count()
+	if err != nil {
+		return 0, err
+	}
+	if n*minSize > len(c.data)-c.off {
+		return 0, fmt.Errorf("delta: log claims %d elements with only %d bytes left", n, len(c.data)-c.off)
+	}
+	return n, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.u8()
+	if err != nil {
+		return "", err
+	}
+	ln := int(n)
+	if ln == 255 {
+		// Long form: names over 254 bytes carry an explicit u32 length.
+		if ln, err = c.sliceLen(1); err != nil {
+			return "", err
+		}
+	}
+	if c.off+ln > len(c.data) {
+		return "", fmt.Errorf("delta: log string truncated at offset %d", c.off)
+	}
+	s := string(c.data[c.off : c.off+ln])
+	c.off += ln
+	return s, nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) < 255 {
+		dst = append(dst, byte(len(s)))
+	} else {
+		dst = append(dst, 255)
+		dst = appendU32(dst, uint32(len(s)))
+	}
+	return append(dst, s...)
+}

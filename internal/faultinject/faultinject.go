@@ -53,6 +53,24 @@ const (
 	// live overlay untouched.
 	CompactRebuild
 
+	// SnapshotWrite fires before each section write of a snapshot's temp
+	// file — mid-write, the temp file partial, the installed snapshot (if
+	// any) untouched.
+	SnapshotWrite
+	// SnapshotRename fires after the snapshot temp file is written and
+	// fsynced, immediately before the atomic rename installs it.
+	SnapshotRename
+	// JournalAppend fires between a journal record's header write and its
+	// payload write — the torn-tail state recovery must truncate away.
+	JournalAppend
+	// JournalSync fires after a journal record is fully written, before
+	// the fsync that makes it durable.
+	JournalSync
+	// JournalRotate fires during snapshot+journal rotation, after the new
+	// snapshot's rename landed but before the journal is reset — the
+	// window the epoch-stamped skip rule on recovery exists for.
+	JournalRotate
+
 	numPoints
 )
 
@@ -62,6 +80,11 @@ var pointNames = [numPoints]string{
 	CachePutBatch:   "cache-putbatch",
 	OverlayApply:    "overlay-apply",
 	CompactRebuild:  "compact-rebuild",
+	SnapshotWrite:   "snapshot-write",
+	SnapshotRename:  "snapshot-rename",
+	JournalAppend:   "journal-append",
+	JournalSync:     "journal-sync",
+	JournalRotate:   "journal-rotate",
 }
 
 func (p Point) String() string {

@@ -12,6 +12,7 @@ import (
 	"dynsum/internal/clients"
 	"dynsum/internal/core"
 	"dynsum/internal/fixture"
+	"dynsum/internal/persist"
 )
 
 // This file implements the benchmark-trajectory emitter behind
@@ -322,6 +323,55 @@ func RunBenchJSON(opts Options) BenchSnapshot {
 			}
 		})
 		snap.Records = append(snap.Records, record("evolve/"+ev.Name+"/rebuild", opts.Scale, r))
+	}
+
+	// Warm start from disk vs rebuild from source: the persistence layer's
+	// reason to exist in numbers. The store is prepared outside the timed
+	// loops — created, warmed with the NullDeref batch and compacted so the
+	// snapshot carries the summary cache. One open op is a full recovery
+	// (checksum verification, CSR adoption, summary import, journal scan);
+	// one rebuild op regenerates the same program from the profile and
+	// freezes it, the path a restart without persistence must take.
+	for _, bench := range Figure4Benchmarks {
+		p := benchgen.ProfileByNameMust(bench).Scaled(opts.Scale)
+		prog := benchgen.Generate(p, opts.Seed)
+		dir, err := os.MkdirTemp("", "dynsum-warmstart-")
+		if err != nil {
+			panic(err)
+		}
+		st, err := persist.Create(dir, prog, persist.Options{Config: opts.config()})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := clients.Run("NullDeref", prog, st.Engine()); err != nil {
+			panic(err)
+		}
+		if err := st.Compact(); err != nil {
+			panic(err)
+		}
+		st.Close()
+
+		r := measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				re, err := persist.Open(dir, persist.Options{Config: opts.config()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				re.Close()
+			}
+		})
+		snap.Records = append(snap.Records, record(fmt.Sprintf("warmstart/%s/open", bench), opts.Scale, r))
+
+		r = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rebuilt := benchgen.Generate(p, opts.Seed)
+				rebuilt.G.Freeze()
+			}
+		})
+		snap.Records = append(snap.Records, record(fmt.Sprintf("warmstart/%s/rebuild", bench), opts.Scale, r))
+		os.RemoveAll(dir)
 	}
 
 	// The batch engine on the Figure 4 strongest case, serial and

@@ -70,6 +70,7 @@ func Passes() []Pass {
 		scratchpinPass{},
 		scratchreturnPass{},
 		metricsdirectPass{},
+		persistsyncPass{},
 	}
 }
 

@@ -61,6 +61,7 @@ func TestPassesFireOnTestdata(t *testing.T) {
 		{"scratchpin", "scratchpin"},
 		{"scratchreturn", "scratchreturn"},
 		{"metricsdirect", "metricsdirect"},
+		{"persistsync", "persistsync"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.corpus, func(t *testing.T) {
@@ -153,6 +154,9 @@ func TestPassScoping(t *testing.T) {
 		{"scratchreturn", "core only", true, "core"},
 		{"scratchreturn", "not elsewhere", false, "delta"},
 		{"metricsdirect", "everywhere", true, "stasum"},
+		{"persistsync", "persist pkg", true, "persist"},
+		{"persistsync", "journal pkg", true, "journal"},
+		{"persistsync", "not elsewhere", false, "core"},
 	} {
 		var p Pass
 		for _, q := range Passes() {

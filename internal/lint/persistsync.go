@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// persistsyncPass enforces the durability ordering of the persistence
+// layer: inside internal/persist (and its journal subpackage) every
+// os.Rename — the atomic-install step of a snapshot — must be preceded,
+// in the same function, by a Sync on an *os.File. Renaming a temp file
+// that was never fsynced publishes a name whose bytes may still be in
+// the page cache; a crash then leaves a complete-looking file with torn
+// contents, which defeats the whole temp-fsync-rename protocol
+// (DESIGN.md §13). The check is lexical within one function body — the
+// protocol keeps write, sync and rename together by construction, and a
+// rename whose sync lives elsewhere deserves a human look.
+type persistsyncPass struct{}
+
+func (persistsyncPass) Name() string { return "persistsync" }
+func (persistsyncPass) Doc() string {
+	return "os.Rename in the persistence layer must follow an *os.File Sync in the same function"
+}
+
+func (persistsyncPass) AppliesTo(pkgName, pkgPath string) bool {
+	return pkgName == "persist" || pkgName == "journal"
+}
+
+func (persistsyncPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// ast.Inspect visits in source order, so "a Sync call was seen
+			// before this Rename" is exactly lexical precedence.
+			synced := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if sel.Sel.Name == "Sync" {
+					if recv := u.Info.TypeOf(sel.X); recv != nil && isNamed(recv, "os", "File") {
+						synced = true
+					}
+					return true
+				}
+				if sel.Sel.Name == "Rename" && isPkgCall(u, sel, "os") && !synced {
+					out = append(out, Diagnostic{
+						Pos:  u.Fset.Position(call.Pos()),
+						Pass: "persistsync",
+						Message: "os.Rename without a preceding file Sync in this function — " +
+							"an unsynced temp file can survive the rename with torn contents; " +
+							"fsync the temp file first",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isPkgCall reports whether sel selects from the package named pkgPath
+// (e.g. os.Rename rather than someVar.Rename).
+func isPkgCall(u *Unit, sel *ast.SelectorExpr, pkgPath string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := u.Info.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

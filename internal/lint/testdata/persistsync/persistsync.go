@@ -1,0 +1,56 @@
+// Seeded-violation corpus for the persistsync pass: renames that publish
+// unsynced temp files, against the sanctioned write-sync-rename protocol.
+package persist
+
+import "os"
+
+// installUnsynced renames a temp file that was never fsynced: the rename
+// can land while the contents are still only in the page cache.
+func installUnsynced(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("payload"))
+	f.Close()
+	return os.Rename(tmp, dst) // want "os.Rename without a preceding file Sync"
+}
+
+// renameFirstSyncLater has the protocol backwards: the sync happens after
+// the name is already published.
+func renameFirstSyncLater(f *os.File, tmp, dst string) error {
+	if err := os.Rename(tmp, dst); err != nil { // want "os.Rename without a preceding file Sync"
+		return err
+	}
+	return f.Sync()
+}
+
+// installSynced is the sanctioned protocol: write, fsync, then rename.
+func installSynced(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// otherRename is not os.Rename: a method named Rename on some other type
+// is out of scope.
+type mover struct{}
+
+func (mover) Rename(a, b string) error { return nil }
+
+func otherRename(m mover) error {
+	return m.Rename("a", "b")
+}

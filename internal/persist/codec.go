@@ -1,0 +1,196 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynsum/internal/pag"
+)
+
+// Wire primitives shared by the snapshot sections: little-endian
+// fixed-width integers, u8-or-u32 length-prefixed strings, and
+// count-prefixed arrays. The reader is panic-free on arbitrary input —
+// every read is bounds-checked and every count is validated against the
+// remaining bytes before allocation.
+
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) < 255 {
+		dst = append(dst, byte(len(s)))
+	} else {
+		dst = append(dst, 255)
+		dst = appendU32(dst, uint32(len(s)))
+	}
+	return append(dst, s...)
+}
+
+func appendI32s(dst []byte, vs []int32) []byte {
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = appendU32(dst, uint32(v))
+	}
+	return dst
+}
+
+func appendBytes(dst []byte, bs []byte) []byte {
+	dst = appendU32(dst, uint32(len(bs)))
+	return append(dst, bs...)
+}
+
+const edgeWireSize = 4 + 4 + 1 + 4
+
+func appendEdges(dst []byte, es []pag.Edge) []byte {
+	dst = appendU32(dst, uint32(len(es)))
+	for _, e := range es {
+		dst = appendU32(dst, uint32(e.Src))
+		dst = appendU32(dst, uint32(e.Dst))
+		dst = append(dst, byte(e.Kind))
+		dst = appendU32(dst, uint32(e.Label))
+	}
+	return dst
+}
+
+// reader is the bounds-checked decoder cursor over one section payload.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) u8() (uint8, error) {
+	if r.remaining() < 1 {
+		return 0, fmt.Errorf("truncated at offset %d", r.off)
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("truncated at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("truncated at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) i32() (int32, error) {
+	v, err := r.u32()
+	return int32(v), err
+}
+
+// count reads an element count and verifies that many elements of at
+// least minSize bytes can still follow.
+func (r *reader) count(minSize int) (int, error) {
+	v, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n < 0 || n*minSize > r.remaining() {
+		return 0, fmt.Errorf("count %d exceeds %d remaining bytes", v, r.remaining())
+	}
+	return n, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	ln := int(n)
+	if ln == 255 {
+		if ln, err = r.count(1); err != nil {
+			return "", err
+		}
+	}
+	if r.remaining() < ln {
+		return "", fmt.Errorf("string truncated at offset %d", r.off)
+	}
+	s := string(r.data[r.off : r.off+ln])
+	r.off += ln
+	return s, nil
+}
+
+func (r *reader) i32s() ([]int32, error) {
+	n, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		if out[i], err = r.i32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, r.data[r.off:r.off+n])
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) edges() ([]pag.Edge, error) {
+	n, err := r.count(edgeWireSize)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]pag.Edge, n)
+	for i := range out {
+		src, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		dst, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		label, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(kind) >= pag.NumEdgeKinds {
+			return nil, fmt.Errorf("edge %d has invalid kind %d", i, kind)
+		}
+		out[i] = pag.Edge{Src: pag.NodeID(src), Dst: pag.NodeID(dst), Kind: pag.EdgeKind(kind), Label: int32(label)}
+	}
+	return out, nil
+}
+
+// done verifies the section payload was consumed exactly.
+func (r *reader) done() error {
+	if r.remaining() != 0 {
+		return fmt.Errorf("%d trailing bytes", r.remaining())
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+
+	"dynsum/internal/persist/journal"
+)
+
+// The persistence error taxonomy extends the engine's two-class scheme
+// (DESIGN.md §12) across the process-death boundary:
+//
+//   - Recoverable damage is handled silently: a torn snapshot temp file is
+//     ignored (the rename never landed, the previous snapshot is intact)
+//     and a torn journal tail is truncated (the crash died mid-append; the
+//     record was never acknowledged). Neither surfaces as an error.
+//   - Fatal damage is typed and loud: *CorruptSnapshotError and
+//     *CorruptJournalError mean bytes that were once acknowledged as
+//     durable no longer verify — bit-rot, external truncation, or a foreign
+//     file. Open refuses to serve from them; nothing is silently dropped.
+
+// ErrSnapshotVersion is the sentinel matched (errors.Is) by the error of
+// opening a snapshot written by an incompatible format version. The file
+// is intact — this is a software-skew condition, not corruption.
+var ErrSnapshotVersion = errors.New("persist: snapshot format version not supported")
+
+// CorruptJournalError re-exports the journal's fatal corruption error; see
+// the package comment of internal/persist/journal for the torn-tail rule
+// that separates it from recoverable crash damage.
+type CorruptJournalError = journal.CorruptJournalError
+
+// CorruptSnapshotError reports a snapshot file whose bytes do not verify:
+// damaged framing, a section CRC mismatch, or section contents that fail
+// structural validation. Err (when set) is the underlying cause, exposed
+// to errors.As/Is.
+type CorruptSnapshotError struct {
+	Path    string // snapshot file, "" when decoding raw bytes
+	Section string // section name, "" for file-level framing damage
+	Offset  int64  // byte offset of the damage, -1 when inside a decoded section
+	Reason  string
+	Err     error
+}
+
+func (e *CorruptSnapshotError) Error() string {
+	where := "snapshot"
+	if e.Path != "" {
+		where = e.Path
+	}
+	if e.Section != "" {
+		where += " section " + e.Section
+	}
+	msg := fmt.Sprintf("persist: %s corrupt: %s", where, e.Reason)
+	if e.Offset >= 0 {
+		msg += fmt.Sprintf(" (offset %d)", e.Offset)
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors chains.
+func (e *CorruptSnapshotError) Unwrap() error { return e.Err }
+
+// corrupt builds a file-framing corruption error.
+func corrupt(offset int64, format string, args ...any) *CorruptSnapshotError {
+	return &CorruptSnapshotError{Offset: offset, Reason: fmt.Sprintf(format, args...)}
+}
+
+// corruptSection wraps damage localised to one decoded section.
+func corruptSection(section string, err error) *CorruptSnapshotError {
+	return &CorruptSnapshotError{Section: section, Offset: -1, Reason: err.Error(), Err: err}
+}

@@ -1,0 +1,105 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzJournalScan throws arbitrary bytes at the journal scanner. The
+// contract: no panic; any error is a typed *CorruptJournalError; the
+// reported good prefix is within the input; and scanning the good prefix
+// again reproduces exactly the same records with no error (truncating a
+// torn tail must converge in one step). The committed corpus under
+// testdata/fuzz/FuzzJournalScan covers a pristine journal plus torn
+// tails, payload/CRC bit flips, bad magic and bad version.
+func FuzzJournalScan(f *testing.F) {
+	for _, seed := range corruptedJournalSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, good, err := Scan(data)
+		if err != nil {
+			var ce *CorruptJournalError
+			if !errors.As(err, &ce) {
+				t.Fatalf("untyped scan failure: %v (%T)", err, err)
+			}
+			return
+		}
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("good prefix %d outside input of %d bytes", good, len(data))
+		}
+		again, good2, err := Scan(data[:good])
+		if err != nil {
+			t.Fatalf("good prefix does not rescan: %v", err)
+		}
+		if good2 != good || len(again) != len(recs) {
+			t.Fatalf("rescan of good prefix: %d bytes / %d records, want %d / %d",
+				good2, len(again), good, len(recs))
+		}
+		for i := range recs {
+			if again[i].Epoch != recs[i].Epoch || string(again[i].Payload) != string(recs[i].Payload) {
+				t.Fatalf("rescan record %d diverges", i)
+			}
+		}
+	})
+}
+
+// validJournal builds journal bytes holding the given payloads.
+func validJournal(payloads ...string) []byte {
+	out := append([]byte(nil), Magic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	for i, p := range payloads {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
+		out = binary.LittleEndian.AppendUint64(out, uint64(i+1))
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE([]byte(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+func corruptedJournalSeeds() [][]byte {
+	good := validJournal("first-record-payload", "", "third")
+	seeds := [][]byte{good, nil, []byte(Magic), validJournal()}
+	for _, cut := range []int{3, headerSize, headerSize + 5, len(good) - 1, len(good) - 4} {
+		if cut <= len(good) {
+			seeds = append(seeds, good[:cut])
+		}
+	}
+	for pos := 0; pos < len(good); pos += len(good)/12 + 1 {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x08
+		seeds = append(seeds, bad)
+	}
+	skew := append([]byte(nil), good...)
+	skew[len(Magic)] = 0x09
+	seeds = append(seeds, skew)
+	return seeds
+}
+
+// TestWriteFuzzCorpus regenerates the committed corpus when
+// PERSIST_WRITE_CORPUS=1; by default it only verifies the corpus exists.
+func TestWriteFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalScan")
+	if os.Getenv("PERSIST_WRITE_CORPUS") == "" {
+		ents, err := os.ReadDir(dir)
+		if err != nil || len(ents) == 0 {
+			t.Fatalf("committed fuzz corpus missing at %s (set PERSIST_WRITE_CORPUS=1 to write it): %v", dir, err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range corruptedJournalSeeds() {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

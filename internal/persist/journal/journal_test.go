@@ -1,0 +1,189 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, recs
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal holds %d records", len(recs))
+	}
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-gamma")}
+	for i, p := range payloads {
+		if err := j.Append(uint64(i+1), p); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs = openT(t, path)
+	if len(recs) != len(payloads) {
+		t.Fatalf("reopened %d records, want %d", len(recs), len(payloads))
+	}
+	for i, r := range recs {
+		if r.Epoch != uint64(i+1) || string(r.Payload) != string(payloads[i]) {
+			t.Errorf("record %d = epoch %d %q, want epoch %d %q", i, r.Epoch, r.Payload, i+1, payloads[i])
+		}
+	}
+}
+
+// TestTornTailTruncatedAndReappendable: every proper prefix cut inside
+// the final record must reopen silently with the last record dropped,
+// and the reopened journal must accept new appends at the cut.
+func TestTornTailTruncatedAndReappendable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _ := openT(t, path)
+	if err := j.Append(1, []byte("first-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(2, []byte("second-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := headerSize + recordSize + len("first-record")
+
+	for cut := firstEnd + 1; cut < len(full); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs, err := Open(torn, SyncAlways)
+		if err != nil {
+			t.Fatalf("cut %d: torn tail must not error: %v", cut, err)
+		}
+		if len(recs) != 1 || string(recs[0].Payload) != "first-record" {
+			t.Fatalf("cut %d: recovered %d records", cut, len(recs))
+		}
+		if err := j2.Append(2, []byte("replacement")); err != nil {
+			t.Fatalf("cut %d: re-append: %v", cut, err)
+		}
+		j2.Close()
+		_, recs2, err := Open(torn, SyncAlways)
+		if err != nil {
+			t.Fatalf("cut %d: reopen after re-append: %v", cut, err)
+		}
+		if len(recs2) != 2 || string(recs2[1].Payload) != "replacement" {
+			t.Fatalf("cut %d: re-appended journal reopened with %d records", cut, len(recs2))
+		}
+	}
+}
+
+// TestCreationTornFile: a file shorter than the header (crash during
+// creation) reopens as an empty journal; one contradicting the magic is
+// corrupt.
+func TestCreationTornFile(t *testing.T) {
+	for _, n := range []int{0, 1, len(Magic) - 1, len(Magic), headerSize - 1} {
+		path := filepath.Join(t.TempDir(), "j")
+		if err := os.WriteFile(path, []byte(Magic)[:min(n, len(Magic))], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if n > len(Magic) {
+			continue
+		}
+		j, recs, err := Open(path, SyncAlways)
+		if err != nil {
+			t.Fatalf("%d header bytes: %v", n, err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("%d header bytes: %d records", n, len(recs))
+		}
+		j.Close()
+	}
+
+	path := filepath.Join(t.TempDir(), "j")
+	if err := os.WriteFile(path, []byte("NOTAJRNL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(path, SyncAlways)
+	var ce *CorruptJournalError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bad magic: err = %v, want *CorruptJournalError", err)
+	}
+	if ce.Path != path {
+		t.Errorf("corruption error path = %q, want %q", ce.Path, path)
+	}
+}
+
+// TestMidJournalCorruptionIsTyped: flipping any payload byte of a
+// non-final record is fatal, not a torn tail.
+func TestMidJournalCorruptionIsTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _ := openT(t, path)
+	if err := j.Append(1, []byte("first-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(2, []byte("second-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+recordSize] ^= 0xff // first byte of record 0's payload
+
+	_, _, err = Scan(data)
+	var ce *CorruptJournalError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Scan on corrupted record: err = %v, want *CorruptJournalError", err)
+	}
+	if ce.Record != 0 {
+		t.Errorf("corruption reported at record %d, want 0", ce.Record)
+	}
+}
+
+func TestResetEmptiesJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _ := openT(t, path)
+	if err := j.Append(1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(2, []byte("after-reset")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, path)
+	if len(recs) != 1 || recs[0].Epoch != 2 {
+		t.Fatalf("post-reset journal reopened with %v", recs)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	j, _ := openT(t, filepath.Join(t.TempDir(), "j"))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
