@@ -52,6 +52,14 @@ fuzz:
 faultcheck:
 	$(GO) test -run 'Fault|Cancel|Panic|Quarantine|Retry' -count=1 ./internal/enginetest/ ./internal/core/
 
+# servecheck runs the serving core end to end: the full internal/serve
+# suite under the race detector (oracle fidelity, overload shedding,
+# watchdog, drain) plus the serve-layer chaos sweep.
+.PHONY: servecheck
+servecheck:
+	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -run 'Chaos' -count=1 ./internal/serve/
+
 # persistcheck runs the persistence layer end to end: the snapshot and
 # journal unit suites (with the committed fuzz corpora replayed in the
 # seed phase) and the crash-recovery sweep against never-crashed oracles.

@@ -1,0 +1,300 @@
+// Command dynsumd serves on-demand points-to queries over HTTP: the
+// overload-safe multi-tenant daemon built on internal/serve (DESIGN.md
+// §14). Each session holds a private delta overlay over one shared
+// frozen base program; admission is bounded and shed with typed errors
+// mapped to HTTP statuses, per-tenant token buckets throttle abusive
+// clients, and SIGTERM drains gracefully — in-flight work finishes
+// under a deadline, dirty sessions persist to -state-dir, and the
+// process exits 0.
+//
+// Usage:
+//
+//	dynsumd -addr :7457 prog.pag                # serve a compiled PAG
+//	dynsumd -bench soot-c -scale 0.01           # serve a synthetic benchmark
+//	dynsumd -state-dir /var/lib/dynsumd ...     # persist sessions on drain
+//
+// Endpoints:
+//
+//	POST /v1/sessions  {"id":"s1","tenant":"team-a"}
+//	POST /v1/query     {"session":"s1","vars":[3,17],"deadline_ms":50}
+//	POST /v1/apply     {"session":"s1","delta_b64":"<wire-encoded delta.Log>"}
+//	GET  /healthz      liveness (200 while the process runs)
+//	GET  /readyz       readiness (503 once draining)
+//	GET  /metrics      JSON: serve counters + engine metrics summed over sessions
+package main
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynsum/internal/benchgen"
+	"dynsum/internal/core"
+	"dynsum/internal/delta"
+	"dynsum/internal/mj"
+	"dynsum/internal/pag"
+	"dynsum/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7457", "listen address")
+		bench        = flag.String("bench", "", "serve a synthetic benchmark profile (e.g. soot-c) instead of a program file")
+		scale        = flag.Float64("scale", 0.01, "benchmark scale factor (with -bench)")
+		seed         = flag.Int64("seed", 7, "benchmark generator seed (with -bench)")
+		budget       = flag.Int("budget", core.DefaultBudget, "per-query traversal budget")
+		workers      = flag.Int("workers", 0, "worker goroutines per lane (0 = default)")
+		queueDepth   = flag.Int("queue", 0, "admission queue depth per lane (0 = default)")
+		deadline     = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		quotaRate    = flag.Float64("quota-rate", 0, "per-tenant requests/sec refill (0 = no quotas)")
+		quotaBurst   = flag.Float64("quota-burst", 0, "per-tenant burst size")
+		stateDir     = flag.String("state-dir", "", "persist dirty sessions here on drain")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+
+	prog, err := loadBase(*bench, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsumd:", err)
+		os.Exit(1)
+	}
+	srv, err := serve.NewServer(prog, serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		DefaultDeadline: *deadline,
+		Quota:           serve.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
+		StateDir:        *stateDir,
+		Engine:          core.Config{Budget: *budget},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsumd:", err)
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	d := &daemon{srv: srv}
+	mux.HandleFunc("POST /v1/sessions", d.handleCreateSession)
+	mux.HandleFunc("POST /v1/query", d.handleQuery)
+	mux.HandleFunc("POST /v1/apply", d.handleApply)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !srv.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(srv.MetricsSnapshot())
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dynsumd: serving on %s (%d nodes)\n", *addr, prog.G.NumNodes())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "dynsumd:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dynsumd: %v, draining (timeout %s)\n", s, *drainTimeout)
+	}
+
+	// Stop accepting HTTP first, then drain the serving core: admitted
+	// work completes (or is cancelled at the drain deadline) and dirty
+	// sessions are persisted before the process exits 0.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dynsumd: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "dynsumd: drained")
+}
+
+// loadBase builds the frozen base program: a synthetic benchmark when
+// -bench is set, otherwise the .mj or .pag file on the command line.
+func loadBase(bench string, scale float64, seed int64) (*pag.Program, error) {
+	if bench != "" {
+		p, ok := benchgen.ProfileByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark profile %q", bench)
+		}
+		return benchgen.Generate(p.Scaled(scale), seed), nil
+	}
+	if flag.NArg() != 1 {
+		return nil, errors.New("pass a program file (.mj or .pag) or -bench")
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prog *pag.Program
+	if strings.HasSuffix(path, ".mj") {
+		prog, _, err = mj.Compile(path, string(data))
+	} else {
+		prog, err = pag.Decode(strings.NewReader(string(data)))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !prog.G.Frozen() {
+		prog.G.Freeze()
+	}
+	return prog, nil
+}
+
+type daemon struct {
+	srv *serve.Server
+}
+
+type queryResult struct {
+	Var     int64   `json:"var"`
+	Objects []int64 `json:"objects,omitempty"`
+	Partial bool    `json:"partial,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID     string `json:"id"`
+		Tenant string `json:"tenant"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
+		http.Error(w, "body must be {\"id\":..., \"tenant\":...}", http.StatusBadRequest)
+		return
+	}
+	if _, err := d.srv.CreateSession(req.ID, req.Tenant); err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session    string  `json:"session"`
+		Tenant     string  `json:"tenant"`
+		Vars       []int64 `json:"vars"`
+		DeadlineMS int64   `json:"deadline_ms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	queries := make([]core.Query, len(req.Vars))
+	for i, v := range req.Vars {
+		queries[i] = core.Query{Var: pag.NodeID(v)}
+	}
+	resp, err := d.srv.Do(r.Context(), serve.Request{
+		Session:  req.Session,
+		Tenant:   req.Tenant,
+		Queries:  queries,
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+	})
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	out := struct {
+		Lane     string        `json:"lane"`
+		QueuedNS int64         `json:"queued_ns"`
+		RanNS    int64         `json:"ran_ns"`
+		Results  []queryResult `json:"results"`
+	}{Lane: resp.Lane.String(), QueuedNS: resp.Queued.Nanoseconds(), RanNS: resp.Ran.Nanoseconds()}
+	for _, res := range resp.Results {
+		qr := queryResult{Var: int64(res.Var), Partial: res.Partial}
+		if res.Err != nil {
+			qr.Err = res.Err.Error()
+		}
+		if res.Pts != nil {
+			for _, obj := range res.Pts.Objects() {
+				qr.Objects = append(qr.Objects, int64(obj))
+			}
+		}
+		out.Results = append(out.Results, qr)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (d *daemon) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session  string `json:"session"`
+		DeltaB64 string `json:"delta_b64"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(req.DeltaB64)
+	if err != nil {
+		http.Error(w, "delta_b64: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	log, err := delta.DecodeLog(raw)
+	if err != nil {
+		http.Error(w, "delta: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := d.srv.Apply(r.Context(), req.Session, log)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// writeTypedError maps the serve error taxonomy onto HTTP statuses, so
+// clients can tell shed (retry elsewhere) from quota (back off) from
+// expiry (tighten deadlines) without parsing strings.
+func writeTypedError(w http.ResponseWriter, err error) {
+	var (
+		oe *serve.OverloadError
+		qe *serve.QuotaError
+		ee *serve.ExpiredError
+		ue *serve.UnknownSessionError
+		de *serve.DuplicateSessionError
+		pe *serve.PanicError
+	)
+	status := http.StatusInternalServerError
+	kind := "internal"
+	switch {
+	case errors.As(err, &oe):
+		status, kind = http.StatusServiceUnavailable, "overload"
+	case errors.As(err, &qe):
+		status, kind = http.StatusTooManyRequests, "quota"
+		w.Header().Set("Retry-After", fmt.Sprintf("%.3f", qe.RetryAfter.Seconds()))
+	case errors.As(err, &ee):
+		status, kind = http.StatusGatewayTimeout, "expired"
+	case errors.As(err, &ue):
+		status, kind = http.StatusNotFound, "unknown-session"
+	case errors.As(err, &de):
+		status, kind = http.StatusConflict, "duplicate-session"
+	case errors.As(err, &pe):
+		status, kind = http.StatusInternalServerError, "panic"
+	case errors.Is(err, serve.ErrNotRunning):
+		status, kind = http.StatusServiceUnavailable, "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"kind": kind, "error": err.Error()})
+}

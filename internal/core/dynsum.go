@@ -158,6 +158,33 @@ func (d *DynSum) InvalidateMethod(m pag.MethodID) int {
 	return d.cache.deleteMethod(m)
 }
 
+// SummaryCached reports whether the start-state PPTA summary of a
+// PointsTo query on v is already in the summary cache — the probe the
+// serving layer (internal/serve) uses to classify a request as warm
+// (cheap lane) or cold (whale lane) before admitting it. The probe is
+// exact for the query's first summary and a heuristic for the whole
+// traversal: a warm start state almost always means the query's
+// footprint was cached by the traversal that created it (write-backs
+// cover every state a completed run visited, DESIGN.md §9). Nodes with
+// no local edges need no PPTA at all and count as warm. With
+// DisableCache nothing is ever warm.
+//
+// Like the query entry points, the probe reads the overlay pointer and
+// the cache; callers must order it against mutators exactly as they
+// order queries (the serve layer holds its per-session read lock).
+func (d *DynSum) SummaryCached(v pag.NodeID) bool {
+	if d.DisableCache {
+		return false
+	}
+	gv := graphView{g: d.g, cond: d.condensation(), ov: d.ov}
+	n := gv.rep(v)
+	if !gv.hasLocalEdges(n) {
+		return true
+	}
+	_, ok := d.cache.get(pptaState{node: n, fs: intstack.Empty, st: S1})
+	return ok
+}
+
 // PointsTo implements Analysis: the points-to set of v under the empty
 // initial context.
 func (d *DynSum) PointsTo(v pag.NodeID) (*PointsToSet, error) {

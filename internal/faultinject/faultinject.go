@@ -71,6 +71,24 @@ const (
 	// window the epoch-stamped skip rule on recovery exists for.
 	JournalRotate
 
+	// ServeAdmit fires on the admission path of the serve layer
+	// (internal/serve), after quota and lane classification but before
+	// the request is enqueued — nothing owned by the server yet.
+	ServeAdmit
+	// ServeDispatch fires in a lane's dispatcher as it pops a queued
+	// request, before the expiry check and the worker handoff — the
+	// request is owned by the server and must still be completed with a
+	// typed error.
+	ServeDispatch
+	// ServeSessionApply fires in the serve layer's Apply, after the
+	// delta log is encoded but before the engine's ApplyDelta runs — the
+	// session must stay at its previous epoch.
+	ServeSessionApply
+	// ServeDrain fires during graceful drain, once per dirty session
+	// immediately before that session is persisted — other sessions'
+	// persistence must be unaffected and a retry must succeed.
+	ServeDrain
+
 	numPoints
 )
 
@@ -85,6 +103,11 @@ var pointNames = [numPoints]string{
 	JournalAppend:   "journal-append",
 	JournalSync:     "journal-sync",
 	JournalRotate:   "journal-rotate",
+
+	ServeAdmit:        "serve-admit",
+	ServeDispatch:     "serve-dispatch",
+	ServeSessionApply: "serve-session-apply",
+	ServeDrain:        "serve-drain",
 }
 
 func (p Point) String() string {

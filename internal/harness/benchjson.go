@@ -1,18 +1,21 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"dynsum/internal/benchgen"
 	"dynsum/internal/clients"
 	"dynsum/internal/core"
 	"dynsum/internal/fixture"
 	"dynsum/internal/persist"
+	"dynsum/internal/serve"
 )
 
 // This file implements the benchmark-trajectory emitter behind
@@ -47,6 +50,13 @@ type BenchRecord struct {
 	// OverlayFraction is the delta overlay's final size as a fraction of
 	// the base graph's edge records (evolve overlay workloads).
 	OverlayFraction float64 `json:"overlay_fraction,omitempty"`
+	// P50Ns/P99Ns are end-to-end request latency percentiles through the
+	// serving core (admission to completion), and ShedRate the fraction
+	// of that lane's requests refused with *OverloadError; serve/<bench>
+	// records only.
+	P50Ns    int64   `json:"p50_ns,omitempty"`
+	P99Ns    int64   `json:"p99_ns,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // BenchSnapshot is one full emitter run.
@@ -372,6 +382,58 @@ func RunBenchJSON(opts Options) BenchSnapshot {
 		})
 		snap.Records = append(snap.Records, record(fmt.Sprintf("warmstart/%s/rebuild", bench), opts.Scale, r))
 		os.RemoveAll(dir)
+	}
+
+	// Serving-core latency: RunLoad replays each evolve benchmark through
+	// a small multi-tenant server (8 sessions, warm-biased query mix,
+	// waves applied mid-run) and the per-lane p50/p99 plus shed rate are
+	// recorded. These are end-to-end request latencies — admission,
+	// queueing, the traversal, completion — so they sit above the raw
+	// engine numbers by design; the shed rate records how much of the
+	// offered load the bounded queues refused rather than absorbed.
+	for _, name := range benchgen.EvolveBenchmarks {
+		p := benchgen.ProfileByNameMust(name).Scaled(opts.Scale)
+		ev, err := benchgen.GenerateEvolve(p, opts.Seed, benchgen.DefaultEvolveWaves)
+		if err != nil {
+			panic(err)
+		}
+		srv, err := serve.NewServer(ev.Base, serve.Config{
+			Workers:    2,
+			QueueDepth: 8,
+			Engine:     opts.config(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		rep, err := serve.RunLoad(context.Background(), srv, ev, serve.LoadConfig{
+			Sessions:          8,
+			Requests:          12,
+			QueriesPerRequest: 4,
+			ApplyEvery:        4,
+			Deadline:          time.Second,
+			WarmBias:          0.5,
+			Seed:              opts.Seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := srv.Drain(context.Background()); err != nil {
+			panic(err)
+		}
+		for lane, ls := range rep.Lanes {
+			if ls.Completed == 0 && ls.Shed == 0 {
+				continue
+			}
+			rec := BenchRecord{
+				Name:     fmt.Sprintf("serve/%s/%s", ev.Name, lane),
+				Scale:    opts.Scale,
+				NsPerOp:  float64(ls.P50.Nanoseconds()),
+				P50Ns:    ls.P50.Nanoseconds(),
+				P99Ns:    ls.P99.Nanoseconds(),
+				ShedRate: ls.ShedRate,
+			}
+			snap.Records = append(snap.Records, rec)
+		}
 	}
 
 	// The batch engine on the Figure 4 strongest case, serial and

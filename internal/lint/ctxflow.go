@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxflowPass enforces deadline propagation through the serving layer
+// (DESIGN.md §14): every exported function in package serve whose body
+// can block — a channel send or receive, a select, a range over a
+// channel, sync.WaitGroup.Wait / sync.Cond.Wait, or time.Sleep — must
+// accept a context.Context and actually use it. A blocking entry point
+// without a context is uncancellable from the outside: a caller's
+// deadline stops at that frame, which is exactly how "graceful" drains
+// end up hanging on one stuck request. The check is lexical within the
+// function body; blocking work delegated to unexported helpers is the
+// exported caller's to bound, which it can only do with a context in
+// hand.
+type ctxflowPass struct{}
+
+func (ctxflowPass) Name() string { return "ctxflow" }
+func (ctxflowPass) Doc() string {
+	return "exported blocking entry points in the serving layer must accept and use a context.Context"
+}
+
+func (ctxflowPass) AppliesTo(pkgName, pkgPath string) bool {
+	return pkgName == "serve"
+}
+
+func (ctxflowPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			blocking := firstBlockingOp(u, fn.Body)
+			if blocking == nil {
+				continue
+			}
+			ctxParam := contextParam(u, fn)
+			if ctxParam == nil {
+				out = append(out, Diagnostic{
+					Pos:  u.Fset.Position(fn.Pos()),
+					Pass: "ctxflow",
+					Message: "exported " + fn.Name.Name + " blocks (" + blockingKind(blocking) +
+						") but takes no context.Context — callers cannot bound or cancel it",
+				})
+				continue
+			}
+			if !usesObject(u, fn.Body, ctxParam) {
+				out = append(out, Diagnostic{
+					Pos:  u.Fset.Position(fn.Pos()),
+					Pass: "ctxflow",
+					Message: "exported " + fn.Name.Name + " accepts a context.Context but never uses it — " +
+						"the deadline dies in this frame instead of propagating to the blocking work",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// firstBlockingOp returns the first lexically blocking node in body, or
+// nil. Mutex locks are deliberately out of scope: they guard short
+// critical sections by convention, while channels, selects, Waits and
+// Sleeps are the layer's long-wait primitives.
+func firstBlockingOp(u *Unit, body *ast.BlockStmt) ast.Node {
+	var found ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = n
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = n
+			}
+		case *ast.SelectStmt:
+			found = n
+		case *ast.RangeStmt:
+			if t := u.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = n
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Wait":
+				if recv := u.Info.TypeOf(sel.X); recv != nil &&
+					(isNamed(recv, "sync", "WaitGroup") || isNamed(recv, "sync", "Cond")) {
+					found = n
+				}
+			case "Sleep":
+				if isPkgCall(u, sel, "time") {
+					found = n
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func blockingKind(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		return "channel receive"
+	case *ast.SelectStmt:
+		return "select"
+	case *ast.RangeStmt:
+		return "range over channel"
+	case *ast.CallExpr:
+		if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sleep" {
+			return "time.Sleep"
+		}
+		return "Wait"
+	}
+	return "blocking op"
+}
+
+// contextParam returns the types.Object of the first context.Context
+// parameter, or nil.
+func contextParam(u *Unit, fn *ast.FuncDecl) types.Object {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		t := u.Info.TypeOf(field.Type)
+		if t == nil || !isNamed(t, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := u.Info.ObjectOf(name); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(u *Unit, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && u.Info.ObjectOf(id) == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

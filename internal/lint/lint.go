@@ -71,6 +71,7 @@ func Passes() []Pass {
 		scratchreturnPass{},
 		metricsdirectPass{},
 		persistsyncPass{},
+		ctxflowPass{},
 	}
 }
 

@@ -62,6 +62,7 @@ func TestPassesFireOnTestdata(t *testing.T) {
 		{"scratchreturn", "scratchreturn"},
 		{"metricsdirect", "metricsdirect"},
 		{"persistsync", "persistsync"},
+		{"ctxflow", "ctxflow"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.corpus, func(t *testing.T) {
@@ -157,6 +158,8 @@ func TestPassScoping(t *testing.T) {
 		{"persistsync", "persist pkg", true, "persist"},
 		{"persistsync", "journal pkg", true, "journal"},
 		{"persistsync", "not elsewhere", false, "core"},
+		{"ctxflow", "serve only", true, "serve"},
+		{"ctxflow", "not elsewhere", false, "core"},
 	} {
 		var p Pass
 		for _, q := range Passes() {

@@ -1,0 +1,80 @@
+// Seeded-violation corpus for the ctxflow pass: exported serving-layer
+// entry points that block without accepting (or without propagating) a
+// context.Context.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// WaitForResult blocks on a channel receive with no context: a caller's
+// deadline cannot reach the wait.
+func WaitForResult(ch chan int) int { // want "blocks (channel receive) but takes no context.Context"
+	return <-ch
+}
+
+// Submit sends into a possibly-full queue without a context.
+func Submit(queue chan int, v int) { // want "blocks (channel send) but takes no context.Context"
+	queue <- v
+}
+
+// DrainAll waits on a WaitGroup with no way to bound the wait.
+func DrainAll(wg *sync.WaitGroup) { // want "blocks (Wait) but takes no context.Context"
+	wg.Wait()
+}
+
+// PollUntil sleeps in a loop; the retry cadence is unbounded without a
+// context.
+func PollUntil(ready func() bool) { // want "blocks (time.Sleep) but takes no context.Context"
+	for !ready() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Accepted takes the context but drops it on the floor: the select can
+// still wait forever.
+func Accepted(ctx context.Context, ch chan int) int { // want "accepts a context.Context but never uses it"
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+
+// Do is the sanctioned shape: blocking work raced against ctx.Done.
+func Do(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Consume ranges over a channel under a used context (checked per
+// iteration), which satisfies the pass.
+func Consume(ctx context.Context, ch chan int) int {
+	sum := 0
+	for v := range ch {
+		if ctx.Err() != nil {
+			break
+		}
+		sum += v
+	}
+	return sum
+}
+
+// helper is unexported: internal blocking helpers are the exported
+// caller's responsibility, not separate entry points.
+func helper(ch chan int) int {
+	return <-ch
+}
+
+// Describe does not block; no context needed.
+func Describe(n int) string {
+	if n > 0 {
+		return "positive"
+	}
+	return "non-positive"
+}

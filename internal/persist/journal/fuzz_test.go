@@ -78,6 +78,15 @@ func corruptedJournalSeeds() [][]byte {
 	skew := append([]byte(nil), good...)
 	skew[len(Magic)] = 0x09
 	seeds = append(seeds, skew)
+	// A complete header declaring an insane payload length: the
+	// corrupted-length case Scan must report as typed corruption rather
+	// than fold into tail truncation (or worse, trust for an allocation).
+	insane := validJournal("ok")
+	insane = binary.LittleEndian.AppendUint32(insane, MaxRecordLen+1)
+	insane = binary.LittleEndian.AppendUint64(insane, 2)
+	insane = binary.LittleEndian.AppendUint32(insane, 0)
+	insane = append(insane, "short"...)
+	seeds = append(seeds, insane)
 	return seeds
 }
 

@@ -11,10 +11,17 @@
 // point. A record that is fully present but fails its CRC is corruption
 // the crash model cannot produce, and surfaces as a typed
 // *CorruptJournalError; replaying past it could resurrect a half-written
-// epoch as real program state. (A corrupted length field is
-// indistinguishable from a torn tail by construction — length-prefixed
-// logs always have that blind spot — so bit-rot inside a length prefix
-// drops the tail instead of erroring.)
+// epoch as real program state.
+//
+// A corrupted length field narrows the classic length-prefix blind spot
+// to its minimum: record headers are written in a single Write, so a
+// crash leaves either a short header (torn tail, truncated) or a complete
+// one whose length is genuine. A complete header declaring more than
+// MaxRecordLen is therefore bit-rot, not a crash, and surfaces as a
+// typed *CorruptJournalError; a sane length that merely overruns the
+// remaining file is the torn-payload tail and truncates as before. No
+// declared length is ever trusted for an allocation — payloads are
+// subslices of bytes already read, bounded by the file itself.
 package journal
 
 import (
@@ -35,6 +42,15 @@ const (
 	headerSize = len(Magic) + 4 // magic + u32 version
 	recordSize = 4 + 8 + 4      // u32 payload length + u64 epoch + u32 crc
 )
+
+// MaxRecordLen bounds a record's declared payload length (64 MiB). One
+// record holds one encoded delta.Log epoch — orders of magnitude smaller
+// in practice — so a complete header declaring more than this is
+// corruption (see the package comment for why it cannot be a torn tail),
+// reported as a typed *CorruptJournalError instead of being silently
+// folded into tail truncation. Append enforces the same bound on the
+// write side.
+const MaxRecordLen = 64 << 20
 
 // SyncPolicy selects when appended records are fsynced.
 type SyncPolicy int
@@ -105,8 +121,16 @@ func Scan(data []byte) (recs []Record, good int64, err error) {
 		plen := binary.LittleEndian.Uint32(data[off:])
 		epoch := binary.LittleEndian.Uint64(data[off+4:])
 		sum := binary.LittleEndian.Uint32(data[off+12:])
+		if plen > MaxRecordLen {
+			// The header is complete (checked above), so this length was
+			// written whole: an insane value is bit-rot in the prefix, not
+			// a crash artifact, and truncating here could silently drop
+			// good epochs that follow.
+			return nil, 0, &CorruptJournalError{Record: len(recs), Offset: int64(off),
+				Reason: fmt.Sprintf("declared record length %d exceeds maximum %d", plen, int64(MaxRecordLen))}
+		}
 		if int(plen) > len(data)-off-recordSize {
-			break // torn payload (or corrupted length — indistinguishable)
+			break // torn payload at end of file
 		}
 		payload := data[off+recordSize : off+recordSize+int(plen)]
 		if got := crc32.ChecksumIEEE(payload); got != sum {
@@ -178,6 +202,9 @@ func Open(path string, sync SyncPolicy) (*Journal, []Record, error) {
 // returning. The header and payload are written separately: a crash (or
 // injected fault) in between leaves exactly the torn tail Scan truncates.
 func (j *Journal) Append(epoch uint64, payload []byte) error {
+	if len(payload) > MaxRecordLen {
+		return fmt.Errorf("journal: record payload %d bytes exceeds MaxRecordLen %d", len(payload), int64(MaxRecordLen))
+	}
 	var hdr [recordSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(hdr[4:], epoch)
@@ -216,6 +243,17 @@ func (j *Journal) reset() error {
 	binary.LittleEndian.PutUint32(hdr[len(Magic):], Version)
 	if _, err := j.f.Write(hdr[:]); err != nil {
 		return err
+	}
+	return j.f.Sync()
+}
+
+// Sync flushes appended records to stable storage regardless of the
+// sync policy — the batch counterpart to SyncAlways for writers that
+// append a burst under SyncNever and make it durable once (the serve
+// layer's drain persistence).
+func (j *Journal) Sync() error {
+	if j.f == nil {
+		return os.ErrClosed
 	}
 	return j.f.Sync()
 }

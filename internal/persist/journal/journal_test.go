@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -154,6 +155,52 @@ func TestMidJournalCorruptionIsTyped(t *testing.T) {
 	}
 	if ce.Record != 0 {
 		t.Errorf("corruption reported at record %d, want 0", ce.Record)
+	}
+}
+
+// TestInsaneDeclaredLengthIsTyped: a complete record header declaring a
+// payload beyond MaxRecordLen is corruption (record headers are written
+// whole, so a crash cannot produce it), reported as a typed error at the
+// offending record rather than silently truncated as a torn tail — and
+// the declared length is never used for an allocation.
+func TestInsaneDeclaredLengthIsTyped(t *testing.T) {
+	data := validJournal("good-epoch")
+	data = binary.LittleEndian.AppendUint32(data, MaxRecordLen+1)
+	data = binary.LittleEndian.AppendUint64(data, 2)
+	data = binary.LittleEndian.AppendUint32(data, 0)
+	data = append(data, "partial"...)
+
+	_, _, err := Scan(data)
+	var ce *CorruptJournalError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Scan with insane length: err = %v, want *CorruptJournalError", err)
+	}
+	if ce.Record != 1 {
+		t.Errorf("corruption reported at record %d, want 1", ce.Record)
+	}
+
+	// The same length that is merely too large for the remaining file but
+	// within MaxRecordLen stays a torn tail.
+	torn := validJournal("good-epoch")
+	torn = binary.LittleEndian.AppendUint32(torn, MaxRecordLen)
+	torn = binary.LittleEndian.AppendUint64(torn, 2)
+	torn = binary.LittleEndian.AppendUint32(torn, 0)
+	recs, good, err := Scan(torn)
+	if err != nil {
+		t.Fatalf("sane overrunning length must stay a torn tail, got %v", err)
+	}
+	if len(recs) != 1 || good != int64(len(validJournal("good-epoch"))) {
+		t.Errorf("torn tail: %d records / good %d, want 1 / %d", len(recs), good, len(validJournal("good-epoch")))
+	}
+
+	// Append refuses to write a record Scan would reject.
+	j, _ := openT(t, filepath.Join(t.TempDir(), "j"))
+	defer j.Close()
+	if err := j.Append(1, make([]byte, MaxRecordLen+1)); err == nil {
+		t.Fatal("Append beyond MaxRecordLen succeeded, want error")
+	}
+	if err := j.Append(1, []byte("still fine")); err != nil {
+		t.Fatalf("journal unusable after refused append: %v", err)
 	}
 }
 

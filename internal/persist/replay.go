@@ -1,0 +1,72 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynsum/internal/pag"
+	"dynsum/internal/persist/journal"
+)
+
+// SaveReplay writes dir as a recoverable store image of a session that
+// evolved base through the given wire-encoded delta epochs, without
+// replaying anything: an epoch-0 snapshot of the (frozen, never-written)
+// base program plus a journal carrying the payloads as epochs 1..n, all
+// durable before return. Open then recovers it like any store — replay
+// through the live ApplyDelta, integrity-checked — so answers from the
+// reopened engine match the session that produced the payloads, provided
+// it is reopened under the session's engine Config (the usual replay-
+// determinism contract, see Options.Config).
+//
+// This is the serve layer's graceful-drain path: many tenant sessions
+// share one frozen base and each carries only its private delta history,
+// so persisting a dirty session is one base image plus its journal — no
+// per-session re-apply, no summary export, no quiescing beyond the
+// session itself.
+func SaveReplay(dir string, base *pag.Program, payloads [][]byte) error {
+	img, err := base.G.Image()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	snap := &snapshot{
+		epoch:     0,
+		name:      base.Name,
+		img:       img,
+		casts:     base.Casts,
+		derefs:    base.Derefs,
+		factories: base.Factories,
+	}
+	if err := writeSnapshot(dir, snap); err != nil {
+		return err
+	}
+	jr, recs, err := journal.Open(filepath.Join(dir, journalFile), journal.SyncNever)
+	if err != nil {
+		return err
+	}
+	if len(recs) > 0 {
+		// Leftovers of a previous image in this dir: the fresh snapshot is
+		// epoch 0, so nothing old may replay.
+		if err := jr.Reset(); err != nil {
+			jr.Close()
+			return err
+		}
+	}
+	for i, p := range payloads {
+		if err := jr.Append(uint64(i+1), p); err != nil {
+			jr.Close()
+			return fmt.Errorf("persist: session epoch %d not journaled: %w", i+1, err)
+		}
+	}
+	// One fsync for the whole journal (Close syncs under SyncAlways; with
+	// SyncNever we sync explicitly): drain writes each session's history
+	// in one burst, so per-record fsyncs would only multiply the cost.
+	if err := jr.Sync(); err != nil {
+		jr.Close()
+		return err
+	}
+	return jr.Close()
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig is a per-tenant token bucket: Rate tokens refill per
+// second up to Burst, and each admitted request spends one. The zero
+// value disables quotas entirely. Buckets start full, so a tenant's
+// first Burst requests always admit.
+type QuotaConfig struct {
+	Rate  float64
+	Burst float64
+}
+
+func (q QuotaConfig) enabled() bool { return q.Rate > 0 }
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotas holds one lazily created bucket per tenant. The lock is held
+// only for the refill arithmetic — a few float ops per admission.
+type quotas struct {
+	cfg QuotaConfig
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+func newQuotas(cfg QuotaConfig) *quotas {
+	return &quotas{cfg: cfg, m: make(map[string]*bucket)}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is empty
+// it reports false plus the time until one token will have refilled —
+// the *QuotaError's RetryAfter.
+func (q *quotas) allow(tenant string, now time.Time) (bool, time.Duration) {
+	if !q.cfg.enabled() {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.m[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.cfg.Burst, last: now}
+		q.m[tenant] = b
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * q.cfg.Rate
+		if b.tokens > q.cfg.Burst {
+			b.tokens = q.cfg.Burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		retry := time.Duration((1 - b.tokens) / q.cfg.Rate * float64(time.Second))
+		return false, retry
+	}
+	b.tokens--
+	return true, 0
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The deadline watchdog: every admitted request is tracked from the
+// moment it enters its lane queue, and armed with a cancel function once
+// a worker starts its traversal. A single ticker goroutine scans the set
+// and acts on whatever is overdue:
+//
+//   - still queued (no cancel yet): complete it directly with a typed
+//     *ExpiredError, so the caller gets its refusal at the deadline even
+//     if every worker is busy — the dispatcher later skips the tombstone;
+//   - running: cancel its context with cause context.DeadlineExceeded.
+//     The engine's Budget polls the context every few hundred traversal
+//     steps, so cancellation is cooperative and prompt, and the query's
+//     slot comes back as a partial ErrCanceled result for which
+//     errors.Is(err, context.DeadlineExceeded) holds.
+//
+// No timer goroutine per request, no killed worker, and the engine (plus
+// the session's other queries) is untouched.
+
+type inflightEntry struct {
+	cancel   context.CancelCauseFunc // nil while the request is queued
+	deadline time.Time
+	lane     Lane
+	canceled bool
+}
+
+type inflightSet struct {
+	mu sync.Mutex
+	m  map[*request]*inflightEntry
+}
+
+// track registers an admitted request. A request that already completed
+// (the pipeline can win the race with admission's bookkeeping) is not
+// inserted — complete() has already run its untrack, and inserting after
+// it would leak the entry.
+func (in *inflightSet) track(r *request) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r.completed.Load() {
+		return
+	}
+	in.m[r] = &inflightEntry{deadline: r.deadline, lane: r.lane}
+}
+
+// arm attaches the running request's cancel function, switching the
+// watchdog's overdue action from expire-in-queue to cancel-traversal.
+func (in *inflightSet) arm(r *request, cancel context.CancelCauseFunc) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if e, ok := in.m[r]; ok {
+		e.cancel = cancel
+	}
+}
+
+func (in *inflightSet) untrack(r *request) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.m, r)
+}
+
+// cancelAll cancels every armed in-flight request with the given cause —
+// the drain-deadline path. Queued requests are left to the dispatcher,
+// which refuses them once the drain is aborted.
+func (in *inflightSet) cancelAll(cause error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, e := range in.m {
+		if e.cancel != nil && !e.canceled {
+			e.cancel(cause)
+			e.canceled = true
+		}
+	}
+}
+
+// expireOverdue is one watchdog scan. Cancellations happen under the set
+// lock (they are atomic flag flips); expirations complete requests, so
+// they are collected first and resolved outside it (complete() untracks,
+// which needs the same lock).
+func (s *Server) expireOverdue(now time.Time) {
+	var stale []*request
+	s.inflight.mu.Lock()
+	for r, e := range s.inflight.m {
+		if e.canceled || e.deadline.IsZero() || !now.After(e.deadline) {
+			continue
+		}
+		e.canceled = true
+		if e.cancel != nil {
+			e.cancel(context.DeadlineExceeded)
+			s.metrics.lanes[e.lane].deadlineCancels.Add(1)
+		} else {
+			stale = append(stale, r)
+		}
+	}
+	s.inflight.mu.Unlock()
+	for _, r := range stale {
+		if s.complete(r, nil, &ExpiredError{Lane: r.lane, Waited: now.Sub(r.enqueued)}) {
+			s.metrics.lanes[r.lane].expired.Add(1)
+		}
+	}
+}
+
+func (s *Server) watchdog() {
+	defer s.watchWG.Done()
+	t := time.NewTicker(s.cfg.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-t.C:
+			s.expireOverdue(s.now())
+		}
+	}
+}
