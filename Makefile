@@ -36,14 +36,16 @@ test-race:
 lint:
 	./scripts/lint.sh
 
-# fuzz smokes the native fuzz targets over the validator stack for
-# FUZZ_TIME each; the committed seed corpora replay in plain `make test`.
+# fuzz smokes the native fuzz targets over the validator stack and the
+# open-world spec parser for FUZZ_TIME each; the committed seed corpora
+# replay in plain `make test`.
 .PHONY: fuzz
 fuzz:
 	$(GO) test ./internal/check -fuzz FuzzFreezeValidate -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/check -fuzz FuzzDeltaApplyValidate -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/persist -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/persist/journal -run '^$$' -fuzz FuzzJournalScan -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/openworld -run '^$$' -fuzz FuzzSpecParse -fuzztime $(FUZZ_TIME)
 
 # faultcheck runs the query-lifecycle hardening suite: deterministic
 # fault-injection crash-consistency sweeps (internal/enginetest) plus
@@ -68,9 +70,34 @@ persistcheck:
 	$(GO) test -count=1 ./internal/persist/...
 	$(GO) test -run 'Persist' -count=1 ./internal/enginetest/
 
+# openworldcheck runs the open-world soundness surface: the spec parser
+# and resolver suites, the blended-summary core tests, the benchgen
+# deletion profiles, and the enginetest superset sweep (memo on/off ×
+# condensed/base × deletion fractions against the full-body oracle).
+.PHONY: openworldcheck
+openworldcheck:
+	$(GO) test -count=1 ./internal/openworld/
+	$(GO) test -run 'OpenWorld|Bodyless|Spec|Native' -count=1 \
+		./internal/core/ ./internal/pag/ ./internal/benchgen/ \
+		./internal/enginetest/ ./internal/harness/ ./internal/mj/
+
 .PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) $(PKG)
+
+# bench-baseline measures the trajectory workloads (closed-world suite
+# plus the openworld/<bench>/{oracle,blended,specs} records) into
+# BENCH_SNAPSHOT; bench-compare warns on regressions against the file's
+# baseline section.
+BENCH_SNAPSHOT ?= BENCH_10.json
+
+.PHONY: bench-baseline
+bench-baseline:
+	./scripts/bench/baseline.sh $(BENCH_SNAPSHOT)
+
+.PHONY: bench-compare
+bench-compare:
+	./scripts/bench/compare.sh $(BENCH_SNAPSHOT)
 
 .PHONY: clean
 clean:

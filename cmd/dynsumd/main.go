@@ -41,6 +41,7 @@ import (
 	"dynsum/internal/core"
 	"dynsum/internal/delta"
 	"dynsum/internal/mj"
+	"dynsum/internal/openworld"
 	"dynsum/internal/pag"
 	"dynsum/internal/serve"
 )
@@ -59,10 +60,17 @@ func main() {
 		quotaBurst   = flag.Float64("quota-burst", 0, "per-tenant burst size")
 		stateDir     = flag.String("state-dir", "", "persist dirty sessions here on drain")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+		openWorld    = flag.Bool("openworld", false, "serve bodyless methods under blended blob summaries instead of silently under-approximating")
+		specFile     = flag.String("specs", "", "library points-to spec file, resolved once at startup and applied to every session (implies -openworld)")
 	)
 	flag.Parse()
 
 	prog, err := loadBase(*bench, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsumd:", err)
+		os.Exit(1)
+	}
+	prepare, err := openWorldPrepare(prog, *openWorld || *specFile != "", *specFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynsumd:", err)
 		os.Exit(1)
@@ -74,6 +82,7 @@ func main() {
 		Quota:           serve.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
 		StateDir:        *stateDir,
 		Engine:          core.Config{Budget: *budget},
+		Prepare:         prepare,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynsumd:", err)
@@ -126,6 +135,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "dynsumd: drained")
+}
+
+// openWorldPrepare resolves the spec file once at startup and returns the
+// per-session engine hook: every session enables the blended open-world
+// model for bodyless methods and — when specs were given — has the lowered
+// spec edges applied before serving its first query, so the resolution
+// cost is paid once and session creation stays cheap.
+func openWorldPrepare(prog *pag.Program, enabled bool, specPath string) (func(*core.DynSum) error, error) {
+	if !enabled {
+		if prog.G.NumBodyless() > 0 {
+			fmt.Fprintf(os.Stderr, "dynsumd: warning: %d bodyless methods served without -openworld; their effects are ignored\n",
+				prog.G.NumBodyless())
+		}
+		return nil, nil
+	}
+	var resolved *openworld.Resolved
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		f, err := openworld.Parse(string(data))
+		if err != nil {
+			return nil, err
+		}
+		resolved, err = openworld.Resolve(prog.G, f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "dynsumd: specs %s: %d exact methods (%d edges), %d blended; %d bodyless total\n",
+			specPath, len(resolved.Exact), len(resolved.Edges), len(resolved.Blended), prog.G.NumBodyless())
+	} else {
+		fmt.Fprintf(os.Stderr, "dynsumd: open-world: %d bodyless methods under blended summaries\n", prog.G.NumBodyless())
+	}
+	return func(d *core.DynSum) error {
+		d.EnableOpenWorld(core.PolicyBlended)
+		if resolved != nil {
+			if _, err := d.ApplySpecs(resolved.Edges, resolved.Exact); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // loadBase builds the frozen base program: a synthetic benchmark when

@@ -45,6 +45,7 @@ func realMain() int {
 		ablations    = flag.Bool("ablations", false, "run the cache/locality/k-limit ablations")
 		parallel     = flag.Bool("parallel", false, "run the batch-query parallel-speedup sweep")
 		evolve       = flag.Bool("evolve", false, "run the dynamic-evolution experiment (delta overlay vs rebuild-from-scratch)")
+		openWorld    = flag.Bool("openworld", false, "run the open-world evaluation (blended summaries and specs vs the full-body oracle)")
 		benchJSON    = flag.String("bench-json", "", "measure the benchmark-trajectory workloads and write the snapshot to this JSON file (an existing baseline section in the file is preserved)")
 		benchCompare = flag.String("bench-compare", "", "compare a snapshot file's current section against its baseline and warn on regressions")
 		tolerance    = flag.Float64("tolerance", 0.2, "regression tolerance ratio for -bench-compare (0.2 = 20%)")
@@ -156,6 +157,13 @@ func realMain() int {
 	}
 	if *evolve || *all {
 		harness.WriteEvolve(w, opts)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *openWorld || *all {
+		if err := harness.WriteOpenWorld(w, opts); err != nil {
+			return fail(err)
+		}
 		fmt.Fprintln(w)
 		ran = true
 	}

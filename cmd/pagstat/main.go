@@ -11,6 +11,9 @@
 //	pagstat -validate prog.mj                # deep structural validation
 //	pagstat -bench [-scale 0.02] [-seed 1]   # condensation stats per benchmark
 //	pagstat -snapshot <dir>                  # verify + report a persistent store
+//	pagstat -openworld prog.mj               # bodyless methods of one program
+//	pagstat -openworld -specs lib.spec prog.mj  # + spec coverage against it
+//	pagstat -openworld                       # open-world workload table
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"dynsum/internal/delta"
 	"dynsum/internal/harness"
 	"dynsum/internal/mj"
+	"dynsum/internal/openworld"
 	"dynsum/internal/pag"
 	"dynsum/internal/persist"
 )
@@ -38,10 +42,25 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "benchmark scale factor for -bench")
 	seed := flag.Int64("seed", 1, "generator seed for -bench")
 	snapshot := flag.String("snapshot", "", "open the persistent store at this directory (verifying checksums and replaying its journal) and report its state")
+	openWorld := flag.Bool("openworld", false, "report the open-world state: bodyless methods of the input file, or (without a file) the generated open-world workload table")
+	specs := flag.String("specs", "", "with -openworld <file>: spec file to resolve against the program and report coverage for")
 	flag.Parse()
 
 	if *snapshot != "" {
 		snapshotStats(*snapshot)
+		return
+	}
+	if *openWorld {
+		if flag.NArg() == 0 {
+			openWorldBenchStats(*scale, *seed)
+			return
+		}
+		prog, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pagstat:", err)
+			os.Exit(1)
+		}
+		openWorldFileStats(prog, *specs)
 		return
 	}
 	if *bench {
@@ -201,6 +220,101 @@ func evolveStats(scale float64, seed int64) {
 			ev.Name, ev.NumWaves(), s.Epochs, s.AddedMethods, s.PatchedMethods, s.PatchedNodes,
 			s.OverlayEdges, 100*s.OverlayFraction(), s.DissolvedSCCs, s.RebuiltReps,
 			invalidated, d.Compactions())
+	}
+	w.Flush()
+}
+
+// openWorldFileStats reports the bodyless surface of one loaded program:
+// every method without a body, its boundary interface, and — when a spec
+// file is supplied — how it covers that surface after resolution.
+func openWorldFileStats(prog *pag.Program, specPath string) {
+	g := prog.G
+	bodyless := g.BodylessMethods()
+	fmt.Printf("program: %s\nmethods: %d\nbodyless: %d\n", prog.Name, g.NumMethods(), len(bodyless))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tformals\tret\tblob-obj")
+	for _, m := range bodyless {
+		info, _ := g.Bodyless(m)
+		ret := "-"
+		if info.Ret != pag.NoNode {
+			ret = fmt.Sprintf("%d", info.Ret)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\n", g.MethodInfo(m).Name, len(info.Formals), ret, info.BlobObj)
+	}
+	w.Flush()
+	if specPath == "" {
+		return
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pagstat:", err)
+		os.Exit(1)
+	}
+	f, err := openworld.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pagstat:", err)
+		os.Exit(1)
+	}
+	resolved, err := openworld.Resolve(g, f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pagstat:", err)
+		os.Exit(1)
+	}
+	covered := make(map[pag.MethodID]bool, len(resolved.Exact)+len(resolved.Blended))
+	for _, m := range resolved.Exact {
+		covered[m] = true
+	}
+	for _, m := range resolved.Blended {
+		covered[m] = true
+	}
+	uncovered := 0
+	for _, m := range bodyless {
+		if !covered[m] {
+			uncovered++
+		}
+	}
+	fmt.Printf("specs: %s\n  methods spec'd: %d exact (%d lowered edges), %d blended\n  bodyless uncovered (stay blended): %d\n",
+		specPath, len(resolved.Exact), len(resolved.Edges), len(resolved.Blended), uncovered)
+}
+
+// openWorldBenchStats renders the open-world workload table: every
+// OpenWorldProfiles entry generated at scale/seed, its bodyless count and
+// derived-spec coverage, and — after a blended engine answers the full
+// NullDeref batch on the stripped graph — how many Summarize calls the
+// blob model served (the blended-summary sites).
+func openWorldBenchStats(scale float64, seed int64) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tmethods\tbodyless\tspec-exact\tspec-blended\tspec-edges\tblended-sites\tactive-after-specs")
+	for _, ow := range benchgen.OpenWorldProfiles {
+		bench, err := benchgen.GenerateOpenWorld(ow, scale, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pagstat:", err)
+			os.Exit(1)
+		}
+		g := bench.Stripped.G
+		resolved, err := openworld.Resolve(g, bench.Specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pagstat:", err)
+			os.Exit(1)
+		}
+
+		d := core.NewDynSum(g, core.Config{}, nil)
+		d.EnableOpenWorld(core.PolicyBlended)
+		if _, err := clients.Run("NullDeref", bench.Stripped, d); err != nil {
+			fmt.Fprintln(os.Stderr, "pagstat:", err)
+			os.Exit(1)
+		}
+		sites := d.Metrics().Snapshot().BlendedSummaries
+
+		ds := core.NewDynSum(g, core.Config{}, nil)
+		ds.EnableOpenWorld(core.PolicyBlended)
+		if _, err := ds.ApplySpecs(resolved.Edges, resolved.Exact); err != nil {
+			fmt.Fprintln(os.Stderr, "pagstat:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			ow.Name(), g.NumMethods(), g.NumBodyless(), len(resolved.Exact),
+			len(resolved.Blended), len(resolved.Edges), sites, len(ds.OpenWorldActive()))
 	}
 	w.Flush()
 }

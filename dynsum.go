@@ -38,6 +38,7 @@ import (
 	"dynsum/internal/delta"
 	"dynsum/internal/intstack"
 	"dynsum/internal/mj"
+	"dynsum/internal/openworld"
 	"dynsum/internal/pag"
 	"dynsum/internal/persist"
 	"dynsum/internal/refine"
@@ -354,3 +355,78 @@ func BenchmarkNames() []string {
 type errUnknownBenchmark string
 
 func (e errUnknownBenchmark) Error() string { return "dynsum: unknown benchmark " + string(e) }
+
+// Open-world analysis (DESIGN.md §15): sound answers on programs with
+// missing method bodies. Mark the missing methods bodyless on the builder
+// (or use the MiniJava 'native' keyword), enable a policy on the engine,
+// and optionally install a spec file describing the missing code's
+// points-to effects.
+type (
+	// OpenWorldPolicy selects how the engine answers traversals that reach
+	// a bodyless method: Blended (per-method blob summary), Pessimistic
+	// (one global worst-case summary) or SpecOnly (fail with *NoSpecError).
+	OpenWorldPolicy = core.OpenWorldPolicy
+	// NoSpecError fails a PolicySpecOnly query that reached a bodyless
+	// method without an installed spec; the partial set is NOT sound.
+	NoSpecError = core.NoSpecError
+	// SpecFile is a parsed library points-to spec (one flow per line; see
+	// ParseSpecs).
+	SpecFile = openworld.File
+	// SpecParseError reports malformed spec text with its 1-based line.
+	SpecParseError = openworld.ParseError
+	// SpecResolveError reports a spec that does not fit the target graph
+	// (unknown method, arity mismatch, method not marked bodyless, ...).
+	SpecResolveError = openworld.ResolveError
+	// ResolvedSpecs is a spec file lowered onto a graph: PAG edges plus the
+	// methods they cover, ready for ApplySpecs.
+	ResolvedSpecs = openworld.Resolved
+	// BodylessInfo records the boundary interface (formals, return, blob
+	// nodes) of one bodyless method.
+	BodylessInfo = pag.BodylessInfo
+)
+
+// Open-world policy constants.
+const (
+	PolicyBlended     = core.PolicyBlended
+	PolicyPessimistic = core.PolicyPessimistic
+	PolicySpecOnly    = core.PolicySpecOnly
+)
+
+// ErrOpenWorldDisabled is returned by ApplySpecs before EnableOpenWorld.
+var ErrOpenWorldDisabled = core.ErrOpenWorldDisabled
+
+// ParseSpecs parses library points-to spec text. The format is one method
+// block per paragraph:
+//
+//	method Vector.get
+//	  ret <- this.Vector.elems
+//
+//	method Vector.add
+//	  this.Vector.elems <- arg1
+//
+// Field names must match the graph's interned spelling (the MiniJava
+// frontend qualifies them as Class.field), and arg0 is the receiver —
+// the first explicit parameter is arg1. Malformed input yields a
+// *SpecParseError; the parser never panics.
+func ParseSpecs(text string) (*SpecFile, error) { return openworld.Parse(text) }
+
+// ResolveSpecs lowers a parsed spec file onto g: every spec'd method must
+// be marked bodyless, and each flow line becomes PAG edges over the
+// method's recorded boundary interface. Hand the result to ApplySpecs.
+func ResolveSpecs(g *Graph, f *SpecFile) (*ResolvedSpecs, error) { return openworld.Resolve(g, f) }
+
+// EnableOpenWorld switches engine into open-world mode under policy:
+// traversals that reach a bodyless method are answered soundly (or
+// refused, under PolicySpecOnly) instead of silently dropping the missing
+// code's effects.
+func EnableOpenWorld(engine *core.DynSum, policy OpenWorldPolicy) {
+	engine.EnableOpenWorld(policy)
+}
+
+// ApplySpecs installs resolved specs on an open-world engine through its
+// delta machinery: the lowered edges arrive as one epoch and the exactly
+// spec'd methods leave blended treatment. Queries keep exact answers for
+// spec'd methods and blob-conservative ones for the rest.
+func ApplySpecs(engine *core.DynSum, specs *ResolvedSpecs) (DeltaResult, error) {
+	return engine.ApplySpecs(specs.Edges, specs.Exact)
+}

@@ -194,14 +194,17 @@ func (g *genState) buildLibrary() {
 		g.b.Load(c.getRet, c.getThis, fld)
 		g.left.load--
 
-		// Middle wrapper layer: set1/get1 delegate to set/get.
-		set1 := g.method("lib.set1", cls)
+		// Middle wrapper layer: mset/mget delegate to set/get. (The prefix
+		// must not be another prefix plus digits: method() appends a global
+		// sequence number, and "lib.set1"+seq 3 would alias "lib.set"+seq 13
+		// — ambiguous names break open-world spec resolution by name.)
+		set1 := g.method("lib.mset", cls)
 		set1This := g.local(set1, "this", cls)
 		set1V := g.local(set1, "v", g.object)
 		g.b.Call(set1, c.set, "", []pag.NodeID{set1This, set1V}, []pag.NodeID{c.setThis, c.setV}, pag.NoNode, pag.NoNode)
 		g.left.entry -= 2
 
-		get1 := g.method("lib.get1", cls)
+		get1 := g.method("lib.mget", cls)
 		get1This := g.local(get1, "this", cls)
 		get1Ret := g.local(get1, "ret", g.object)
 		g.b.Call(get1, c.get, "", []pag.NodeID{get1This}, []pag.NodeID{c.getThis}, c.getRet, get1Ret)

@@ -253,6 +253,11 @@ type Metrics struct {
 	// completed component that passed the heuristic, the traversal's own
 	// start state included — so each cold run contributes at least one.
 	WrittenBackSummaries int64
+	// BlendedSummaries counts Summarize calls answered by the open-world
+	// blended/pessimistic model (openworld.go) — the "blended-summary
+	// sites" figure pagstat -openworld reports. Zero on closed-world
+	// engines.
+	BlendedSummaries int64
 }
 
 // Snapshot returns an atomically-read copy of m, safe to take while
@@ -276,6 +281,7 @@ func (m *Metrics) Snapshot() Metrics {
 
 		SplicedSummaries:     atomic.LoadInt64(&m.SplicedSummaries),
 		WrittenBackSummaries: atomic.LoadInt64(&m.WrittenBackSummaries),
+		BlendedSummaries:     atomic.LoadInt64(&m.BlendedSummaries),
 	}
 }
 
@@ -293,6 +299,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.MatchEdges += other.MatchEdges
 	m.SplicedSummaries += other.SplicedSummaries
 	m.WrittenBackSummaries += other.WrittenBackSummaries
+	m.BlendedSummaries += other.BlendedSummaries
 }
 
 // String uses plain reads so it is safe on by-value copies regardless of

@@ -53,6 +53,12 @@ type DynSum struct {
 	cache  *summaryCache
 	intern *resultIntern // hash-consing table for cached result slices
 
+	// ow is the open-world model (nil on closed-world engines — the single
+	// nil-check is all a closed-world query pays). Installed by
+	// EnableOpenWorld and rebuilt by the adjacency mutators; see
+	// openworld.go.
+	ow *owModel
+
 	// cacheMode records which adjacency mode (condensed or base) filled
 	// the summary cache: 0 unset, 1 condensed, 2 base. Condensed entries
 	// are keyed by SCC representative and hold representative frontiers,
@@ -308,6 +314,18 @@ func (ds *dynSummarizer) Summarize(n pag.NodeID, fs intstack.ID, st State, bud *
 	d := (*DynSum)(ds)
 	gv := sc.gv // resolved once per query by the driver
 	n = gv.rep(n)
+	if d.ow != nil {
+		// Open-world hook: states in actively-bodyless methods are served
+		// their blended summary (or fail under SpecOnly) before the
+		// closed-world machinery sees them. See openworld.go.
+		if r, handled, err := d.owSummarize(gv, n); handled {
+			if err != nil {
+				return Summary{}, false, err
+			}
+			atomic.AddInt64(&d.metrics.BlendedSummaries, 1)
+			return r.summary(), true, nil
+		}
+	}
 	if !gv.hasLocalEdges(n) {
 		//lint:allow scratchpin identity view is consumed before the next Summarize call
 		return Summary{Frontier: sc.Identity(n, fs, st)}, false, nil

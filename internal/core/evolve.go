@@ -101,6 +101,11 @@ func (d *DynSum) ApplyDelta(l *delta.Log) (res DeltaResult, err error) {
 			return res, err
 		}
 		res.Compacted = true
+	} else {
+		// The epoch may have delivered a body to a bodyless method (or new
+		// boundary edges to one): rebuild the open-world model against the
+		// patched adjacency. Compact refreshes itself.
+		d.refreshOpenWorld()
 	}
 	return res, nil
 }
@@ -134,6 +139,7 @@ func (d *DynSum) Compact() (err error) {
 	d.ov = nil
 	d.cache.clear()
 	d.compactions++
+	d.refreshOpenWorld() // the blended frontiers referenced the old graph
 	return nil
 }
 

@@ -146,9 +146,52 @@ func (sc *Scratch) discardPending() {
 	sc.pendRIdx = sc.pendRIdx[:0]
 }
 
-// fkey is the dense encoding of a FrontierState, matching pkey's layout.
+// The three helpers below are the PPTA's only field-stack operations, and
+// the single place the wildcard stack ⊤ (intstack.Wild, open-world blended
+// summaries) is given its semantics: ⊤ simulates every concrete stack, so
+// it emits at New edges like the empty stack, absorbs pushes without ever
+// tripping the depth bound, and matches every Load/Store label. Closed-world
+// traversals never see ⊤ and behave exactly as before.
+//
+// (Encoding note: the pkey/fkey packings remap ⊤ to 0x7FFFFFFF before
+// shifting — see pkey in scratch.go for why the raw value must not be
+// packed.)
+
+// emitsObject reports whether a New in-edge reached at stack fs emits its
+// object: the stack is fully matched (Empty) or wildcard.
+func emitsObject(fs intstack.ID) bool {
+	return fs == intstack.Empty || fs == intstack.Wild
+}
+
+// pushField pushes label onto fs, enforcing the configured depth bound on
+// concrete stacks; ⊤ absorbs the push.
+func pushField(fields *intstack.Table, fs intstack.ID, label int32, maxDepth int) (intstack.ID, error) {
+	if fs == intstack.Wild {
+		return intstack.Wild, nil
+	}
+	if fields.Depth(fs) >= maxDepth {
+		return 0, ErrDepth
+	}
+	return fields.Push(fs, label), nil
+}
+
+// matchField pops label off fs when it is the top symbol; ⊤ matches every
+// label and stays ⊤. ok is false when the stack is empty or tops a
+// different label — the traversal does not continue then.
+func matchField(fields *intstack.Table, fs intstack.ID, label int32) (intstack.ID, bool) {
+	if fs == intstack.Wild {
+		return intstack.Wild, true
+	}
+	if top, ok := fields.Peek(fs); ok && top == label {
+		return fields.Pop(fs), true
+	}
+	return 0, false
+}
+
+// fkey is the dense encoding of a FrontierState, matching pkey's layout
+// (including the ⊤ remapping — see pkey).
 func fkey(f FrontierState) uint64 {
-	return uint64(uint32(f.Node))<<32 | uint64(uint32(f.Fs))<<1 | uint64(f.St)
+	return uint64(uint32(f.Node))<<32 | fsKeyBits(f.Fs)<<1 | uint64(f.St)
 }
 
 // resultViews resolves result record r into its object and frontier
@@ -205,11 +248,14 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 				sc.edges++
 				switch e.Kind {
 				case pag.New:
-					if cur.fs == intstack.Empty {
+					if emitsObject(cur.fs) {
 						sc.objBuf = append(sc.objBuf, e.Src)
-					} else {
+					}
+					if cur.fs != intstack.Empty {
 						// "new new-bar": hop through the object to every
 						// variable it is assigned to and flip direction.
+						// (⊤ both emits and hops: it simulates the empty
+						// stack and every non-empty one at once.)
 						for _, e2 := range gv.localOut(e.Src) {
 							if e2.Kind == pag.New {
 								sc.pushPPTA(pptaState{node: e2.Dst, fs: cur.fs, st: S2})
@@ -219,10 +265,11 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 				case pag.Assign:
 					sc.pushPPTA(pptaState{node: e.Src, fs: cur.fs, st: S1})
 				case pag.Load:
-					if fields.Depth(cur.fs) >= cfg.MaxFieldDepth {
-						return nil, ErrDepth
+					fs, err := pushField(fields, cur.fs, e.Label, cfg.MaxFieldDepth)
+					if err != nil {
+						return nil, err
 					}
-					sc.pushPPTA(pptaState{node: e.Src, fs: fields.Push(cur.fs, e.Label), st: S1})
+					sc.pushPPTA(pptaState{node: e.Src, fs: fs, st: S1})
 				}
 			}
 
@@ -241,16 +288,17 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 				case pag.Assign:
 					sc.pushPPTA(pptaState{node: e.Dst, fs: cur.fs, st: S2})
 				case pag.Load:
-					if top, ok := fields.Peek(cur.fs); ok && top == e.Label {
-						sc.pushPPTA(pptaState{node: e.Dst, fs: fields.Pop(cur.fs), st: S2})
+					if fs, ok := matchField(fields, cur.fs, e.Label); ok {
+						sc.pushPPTA(pptaState{node: e.Dst, fs: fs, st: S2})
 					}
 				case pag.Store:
 					// The held value is written into base.g: search for
 					// aliases of the base (alias starts with flowsTo-bar).
-					if fields.Depth(cur.fs) >= cfg.MaxFieldDepth {
-						return nil, ErrDepth
+					fs, err := pushField(fields, cur.fs, e.Label, cfg.MaxFieldDepth)
+					if err != nil {
+						return nil, err
 					}
-					sc.pushPPTA(pptaState{node: e.Dst, fs: fields.Push(cur.fs, e.Label), st: S1})
+					sc.pushPPTA(pptaState{node: e.Dst, fs: fs, st: S1})
 				}
 			}
 			for _, e := range gv.localIn(cur.node) {
@@ -263,8 +311,8 @@ func runPPTA(gv graphView, fields *intstack.Table, start pptaState, cfg Config, 
 				sc.edges++
 				// cur.node aliases the base of the pending load: the
 				// loaded value came from the stored source.
-				if top, ok := fields.Peek(cur.fs); ok && top == e.Label {
-					sc.pushPPTA(pptaState{node: e.Src, fs: fields.Pop(cur.fs), st: S1})
+				if fs, ok := matchField(fields, cur.fs, e.Label); ok {
+					sc.pushPPTA(pptaState{node: e.Src, fs: fs, st: S1})
 				}
 			}
 		}
@@ -303,9 +351,11 @@ func (sc *Scratch) memoExpand(gv graphView, fields *intstack.Table, s pptaState,
 			sc.edges++
 			switch e.Kind {
 			case pag.New:
-				if s.fs == intstack.Empty {
+				if emitsObject(s.fs) {
 					sc.mOwnObj = append(sc.mOwnObj, e.Src)
-				} else {
+				}
+				if s.fs != intstack.Empty {
+					// ⊤ both emits and hops, like the flat path.
 					for _, e2 := range gv.localOut(e.Src) {
 						if e2.Kind == pag.New {
 							sc.msucc = append(sc.msucc, pptaState{node: e2.Dst, fs: s.fs, st: S2})
@@ -315,10 +365,11 @@ func (sc *Scratch) memoExpand(gv graphView, fields *intstack.Table, s pptaState,
 			case pag.Assign:
 				sc.msucc = append(sc.msucc, pptaState{node: e.Src, fs: s.fs, st: S1})
 			case pag.Load:
-				if fields.Depth(s.fs) >= cfg.MaxFieldDepth {
-					return 0, ErrDepth
+				fs, err := pushField(fields, s.fs, e.Label, cfg.MaxFieldDepth)
+				if err != nil {
+					return 0, err
 				}
-				sc.msucc = append(sc.msucc, pptaState{node: e.Src, fs: fields.Push(s.fs, e.Label), st: S1})
+				sc.msucc = append(sc.msucc, pptaState{node: e.Src, fs: fs, st: S1})
 			}
 		}
 
@@ -333,14 +384,15 @@ func (sc *Scratch) memoExpand(gv graphView, fields *intstack.Table, s pptaState,
 			case pag.Assign:
 				sc.msucc = append(sc.msucc, pptaState{node: e.Dst, fs: s.fs, st: S2})
 			case pag.Load:
-				if top, ok := fields.Peek(s.fs); ok && top == e.Label {
-					sc.msucc = append(sc.msucc, pptaState{node: e.Dst, fs: fields.Pop(s.fs), st: S2})
+				if fs, ok := matchField(fields, s.fs, e.Label); ok {
+					sc.msucc = append(sc.msucc, pptaState{node: e.Dst, fs: fs, st: S2})
 				}
 			case pag.Store:
-				if fields.Depth(s.fs) >= cfg.MaxFieldDepth {
-					return 0, ErrDepth
+				fs, err := pushField(fields, s.fs, e.Label, cfg.MaxFieldDepth)
+				if err != nil {
+					return 0, err
 				}
-				sc.msucc = append(sc.msucc, pptaState{node: e.Dst, fs: fields.Push(s.fs, e.Label), st: S1})
+				sc.msucc = append(sc.msucc, pptaState{node: e.Dst, fs: fs, st: S1})
 			}
 		}
 		for _, e := range gv.localIn(s.node) {
@@ -351,8 +403,8 @@ func (sc *Scratch) memoExpand(gv graphView, fields *intstack.Table, s pptaState,
 				return 0, bud.Err()
 			}
 			sc.edges++
-			if top, ok := fields.Peek(s.fs); ok && top == e.Label {
-				sc.msucc = append(sc.msucc, pptaState{node: e.Src, fs: fields.Pop(s.fs), st: S1})
+			if fs, ok := matchField(fields, s.fs, e.Label); ok {
+				sc.msucc = append(sc.msucc, pptaState{node: e.Src, fs: fs, st: S1})
 			}
 		}
 	}

@@ -376,8 +376,26 @@ func dkeys(t driverTuple) (lo, hi uint64) {
 }
 
 // pkey is the dense encoding of a pptaState: node<<32 | fs<<1 | st.
+//
+// The wildcard stack ⊤ (intstack.Wild = -1) is remapped to 0x7FFFFFFF so
+// the shifted stack half stays within 32 bits. Packed raw, ⊤'s 0xFFFFFFFF
+// would bleed its top bit into the node half and pkey(n, ⊤, st) would
+// equal pkey(n+1, ⊤, st) for every even n — adjacent-node wildcard states
+// (exactly what a blended-summary continuation walks through) would alias
+// in the visited set and silently prune the traversal. 0x7FFFFFFF itself
+// cannot collide: a concrete stack with that ID would need an intstack
+// table of 2^31 entries.
 func pkey(s pptaState) uint64 {
-	return uint64(uint32(s.node))<<32 | uint64(uint32(s.fs))<<1 | uint64(s.st)
+	return uint64(uint32(s.node))<<32 | fsKeyBits(s.fs)<<1 | uint64(s.st)
+}
+
+// fsKeyBits encodes a field-stack ID for key packing: non-negative IDs
+// verbatim, ⊤ as the impossible table ID 0x7FFFFFFF.
+func fsKeyBits(fs intstack.ID) uint64 {
+	if fs == intstack.Wild {
+		return 0x7FFFFFFF
+	}
+	return uint64(uint32(fs))
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

@@ -595,6 +595,11 @@ func (o *Overlay) Compact() (*pag.Graph, error) {
 			ng.AddEdge(e)
 		}
 	}
+	// The rebuild preserves method and node IDs, so the open-world
+	// bodyless-method table transfers verbatim.
+	if err := ng.AdoptBodyless(g); err != nil {
+		return nil, err
+	}
 	ng.ResolveDerived()
 	if err := ng.Validate(); err != nil {
 		return nil, err

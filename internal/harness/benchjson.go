@@ -50,6 +50,9 @@ type BenchRecord struct {
 	// OverlayFraction is the delta overlay's final size as a fraction of
 	// the base graph's edge records (evolve overlay workloads).
 	OverlayFraction float64 `json:"overlay_fraction,omitempty"`
+	// BlendedSummaries counts Summarize calls answered by the open-world
+	// blob model during one operation; openworld/ records only.
+	BlendedSummaries int64 `json:"blended_summaries,omitempty"`
 	// P50Ns/P99Ns are end-to-end request latency percentiles through the
 	// serving core (admission to completion), and ShedRate the fraction
 	// of that lane's requests refused with *OverloadError; serve/<bench>
@@ -466,6 +469,13 @@ func RunBenchJSON(opts Options) BenchSnapshot {
 		rec.SummariesCached = summaries
 		snap.Records = append(snap.Records, rec)
 	}
+
+	// Open-world sweeps: a fresh engine answering the full query-var sweep
+	// against the oracle graph, the stripped graph under blended blob
+	// summaries, and the stripped graph with derived specs applied. The
+	// edge counter carries the precision story deterministically (blended
+	// traverses more because blobs over-approximate; specs claw it back).
+	appendOpenWorldRecords(&snap, opts)
 
 	return snap
 }

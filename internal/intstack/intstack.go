@@ -47,6 +47,23 @@ type ID int32
 // Empty is the ID of the empty stack in every Table.
 const Empty ID = 0
 
+// Wild is the wildcard stack ⊤: it simulates every concrete stack at once.
+// The open-world engine (internal/core, internal/openworld) uses it for the
+// field stacks of blended summaries — once a traversal crosses into code
+// whose body is missing, any sequence of pending field labels is possible,
+// and ⊤ is the finite abstraction that stays sound.
+//
+// Wild is absorbing under the stack operations: Push(Wild, s) == Wild and
+// Pop(Wild) == Wild, so the state space over ⊤ stays finite. Depth(Wild)
+// is 0 (⊤ counts as empty wherever emptiness enables an action, and never
+// trips a depth bound), and Peek(Wild) reports ok == false — ⊤ has no one
+// top symbol; matchers that want "⊤ matches every label" must test for
+// Wild explicitly, as core's popField/matchField helpers do.
+//
+// Wild is a sentinel shared by every Table, never interned: it has no cell,
+// and internKey is never called with it (Push short-circuits first).
+const Wild ID = -1
+
 // cell is one interned (parent, sym) pair.
 type cell struct {
 	parent ID
@@ -139,6 +156,9 @@ func (t *Table) Len() int {
 // (stack already interned — the steady state of a warm analysis) is two
 // atomic loads and a short probe, with no locks and no stores.
 func (t *Table) Push(s ID, sym Sym) ID {
+	if s == Wild {
+		return Wild // ⊤ absorbs pushes; see Wild
+	}
 	k := internKey(s, sym)
 	if id, ok := t.index.Load().lookup(k); ok {
 		return id
@@ -207,25 +227,28 @@ func appendCell(cs []cell, c cell) []cell {
 }
 
 // Pop returns the stack below the top of s. Pop of the empty stack returns
-// the empty stack; callers that need exact matching must Peek first.
+// the empty stack (and Pop of Wild returns Wild); callers that need exact
+// matching must Peek first.
 func (t *Table) Pop(s ID) ID {
-	if s == Empty {
-		return Empty
+	if s <= Empty { // Empty or Wild
+		return s
 	}
 	return t.snapshot()[s].parent
 }
 
-// Peek returns the top symbol of s. ok is false iff s is empty.
+// Peek returns the top symbol of s. ok is false iff s is empty — or Wild,
+// which has no single top symbol (see Wild for the matching contract).
 func (t *Table) Peek(s ID) (sym Sym, ok bool) {
-	if s == Empty {
+	if s <= Empty { // Empty or Wild
 		return 0, false
 	}
 	return t.snapshot()[s].sym, true
 }
 
-// Depth returns the number of symbols on s.
+// Depth returns the number of symbols on s; 0 for Empty and for Wild (⊤
+// must never trip a depth bound — it is already the coarsest stack).
 func (t *Table) Depth(s ID) int {
-	if s == Empty {
+	if s <= Empty { // Empty or Wild
 		return 0
 	}
 	return int(t.snapshot()[s].depth)
@@ -239,10 +262,10 @@ func (t *Table) Top(s ID, def Sym) Sym {
 	return def
 }
 
-// Slice returns the symbols of s from top to bottom. The empty stack yields
-// a nil slice.
+// Slice returns the symbols of s from top to bottom. The empty stack (and
+// Wild, which has no concrete symbols) yields a nil slice.
 func (t *Table) Slice(s ID) []Sym {
-	if s == Empty {
+	if s <= Empty { // Empty or Wild
 		return nil
 	}
 	cs := t.snapshot()
@@ -294,13 +317,18 @@ func (t *Table) DropPrefix(s ID, prefix []Sym) ID {
 	return s
 }
 
-// String formats s as "[top,…,bottom]" using the raw symbol values.
+// String formats s as "[top,…,bottom]" using the raw symbol values; Wild
+// renders as "[*]".
 func (t *Table) String(s ID) string {
 	return t.Format(s, func(sym Sym) string { return fmt.Sprint(sym) })
 }
 
-// Format formats s as "[top,…,bottom]" rendering each symbol with name.
+// Format formats s as "[top,…,bottom]" rendering each symbol with name;
+// Wild renders as "[*]".
 func (t *Table) Format(s ID, name func(Sym) string) string {
+	if s == Wild {
+		return "[*]"
+	}
 	var b strings.Builder
 	b.WriteByte('[')
 	for i, sym := range t.Slice(s) {

@@ -30,6 +30,11 @@ type FieldDecl struct {
 type MethodDecl struct {
 	Name   string
 	Static bool
+	// Native marks a method declared without a body (`native T m(...);`):
+	// paggen marks it bodyless instead of lowering statements, and the
+	// open-world machinery (core.EnableOpenWorld, internal/openworld specs)
+	// models its effects.
+	Native bool
 	Ctor   bool
 	Ret    Type // TypeVoid for void
 	Params []Param

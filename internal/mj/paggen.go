@@ -293,7 +293,20 @@ func (g *generator) generate(file *File) error {
 		ci := g.classes[cd.Name]
 		for _, md := range cd.Methods {
 			mi := ci.methods[md.Name+"/"+itoa(len(md.Params))]
-			if err := g.genMethod(mi); err != nil {
+			if md.Native {
+				// No body to lower: record the boundary interface (receiver
+				// first, then params in source order, NoNode at non-reference
+				// positions so spec argument indices stay signature-aligned)
+				// and let the open-world machinery model the method.
+				var formals []pag.NodeID
+				if mi.this != pag.NoNode {
+					formals = append(formals, mi.this)
+				}
+				formals = append(formals, mi.params...)
+				if _, err := g.b.G.MarkBodyless(mi.id, formals, mi.ret); err != nil {
+					return errf(md.Line, "native method %s: %v", mi.qualified(), err)
+				}
+			} else if err := g.genMethod(mi); err != nil {
 				return err
 			}
 			if isFactoryName(md.Name) && mi.ret != pag.NoNode {

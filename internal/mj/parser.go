@@ -90,9 +90,13 @@ func (p *parser) classDecl() (*ClassDecl, error) {
 func (p *parser) member(cd *ClassDecl) error {
 	line := p.cur().Line
 	static := p.accept(KwStatic)
+	native := p.accept(KwNative)
+	if !static {
+		static = p.accept(KwStatic) // 'native static' order
+	}
 
 	// Constructor: ClassName ( ... ) { ... }
-	if !static && p.cur().Kind == IDENT && p.cur().Text == cd.Name && p.peek().Kind == LParen {
+	if !static && !native && p.cur().Kind == IDENT && p.cur().Text == cd.Name && p.peek().Kind == LParen {
 		name := p.next()
 		m := &MethodDecl{Name: name.Text, Ctor: true, Ret: TypeVoid, Line: line}
 		if err := p.methodRest(m); err != nil {
@@ -117,12 +121,15 @@ func (p *parser) member(cd *ClassDecl) error {
 		return err
 	}
 	if p.cur().Kind == LParen {
-		m := &MethodDecl{Name: name.Text, Static: static, Ret: typ, Line: line}
+		m := &MethodDecl{Name: name.Text, Static: static, Native: native, Ret: typ, Line: line}
 		if err := p.methodRest(m); err != nil {
 			return err
 		}
 		cd.Methods = append(cd.Methods, m)
 		return nil
+	}
+	if native {
+		return errf(line, "'native' applies to methods, not fields")
 	}
 	if _, err := p.expect(Semi); err != nil {
 		return err
@@ -153,6 +160,12 @@ func (p *parser) methodRest(m *MethodDecl) error {
 		if _, err := p.expect(RParen); err != nil {
 			return err
 		}
+	}
+	// A native method has no body: the declaration ends at ';' and paggen
+	// marks it bodyless for the open-world machinery.
+	if m.Native {
+		_, err := p.expect(Semi)
+		return err
 	}
 	body, err := p.block()
 	if err != nil {

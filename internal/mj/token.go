@@ -32,6 +32,7 @@ const (
 	KwClass
 	KwExtends
 	KwStatic
+	KwNative
 	KwVoid
 	KwIntType
 	KwNew
@@ -70,7 +71,7 @@ const (
 
 var kindNames = map[Kind]string{
 	EOF: "EOF", IDENT: "identifier", INT: "int literal", STRING: "string literal",
-	KwClass: "'class'", KwExtends: "'extends'", KwStatic: "'static'", KwVoid: "'void'",
+	KwClass: "'class'", KwExtends: "'extends'", KwStatic: "'static'", KwNative: "'native'", KwVoid: "'void'",
 	KwIntType: "'int'", KwNew: "'new'", KwReturn: "'return'", KwIf: "'if'",
 	KwElse: "'else'", KwWhile: "'while'", KwThis: "'this'", KwNull: "'null'",
 	LBrace: "'{'", RBrace: "'}'", LParen: "'('", RParen: "')'",
@@ -88,7 +89,7 @@ func (k Kind) String() string {
 }
 
 var keywords = map[string]Kind{
-	"class": KwClass, "extends": KwExtends, "static": KwStatic, "void": KwVoid,
+	"class": KwClass, "extends": KwExtends, "static": KwStatic, "native": KwNative, "void": KwVoid,
 	"int": KwIntType, "new": KwNew, "return": KwReturn, "if": KwIf,
 	"else": KwElse, "while": KwWhile, "this": KwThis, "null": KwNull,
 }

@@ -1,0 +1,312 @@
+package openworld
+
+import (
+	"fmt"
+
+	"dynsum/internal/pag"
+)
+
+// This file lowers parsed specs onto a PAG. A spec flow becomes ordinary
+// graph edges on the bodyless method's boundary nodes — nothing engine-side
+// interprets specs at query time. Lowered methods therefore get summaries
+// computed, cached, condensed and invalidated by the unchanged closed-world
+// machinery; the only open-world residue is the per-method blob object
+// standing in for unknown allocations.
+//
+// Lowering rules (m's recorded interface: formals, ret, BlobObj, BlobVar):
+//
+//	ret <- argI        Assign  argI -> ret
+//	ret <- argI.f      Load(f) argI -> ret
+//	ret <- new         New     BlobObj -> ret
+//	ret <- global G    AssignGlobal G -> ret
+//	argI.f <- X        Store(f) value(X) -> argI
+//	ret.f  <- X        likewise with base ret
+//	global G <- X      AssignGlobal value(X) -> G
+//
+// A bare-ret destination takes every source kind directly, so the common
+// one-flow specs reproduce the missing body's edges shape-for-shape (with
+// BlobObj substituting for deleted allocation sites). Only the remaining
+// combinations need a value temporary — value(X) is X itself when X is a
+// plain parameter, and otherwise the method's single BlobVar fed by a
+// Load/New/AssignGlobal. Sharing one temporary conflates flows that route
+// through it (two field loads in one spec merge into the same var) — a
+// sound over-approximation, and the price of lowering onto a frozen graph
+// where specs cannot mint nodes.
+//
+// Every edge respects the graph's validation rules: Assign/Load/Store/New
+// stay inside method m and never touch globals; flows involving a static
+// variable go through AssignGlobal, whose driver transition resets the
+// calling context unconditionally — exactly the semantics a real static
+// access in the missing body would have.
+
+// Resolved is the outcome of lowering one spec file against a graph.
+type Resolved struct {
+	// Edges are the lowered flows, deduplicated, in spec order. Apply them
+	// pre-freeze with Graph.AddEdge or post-freeze through the engine's
+	// delta overlay (core.DynSum.ApplySpecs does the latter).
+	Edges []pag.Edge
+	// Exact lists the methods whose blocks carried flow rules (possibly
+	// zero: a bare block declares "no points-to effects"). They leave the
+	// engine's blended-active set once ApplySpecs marks them covered.
+	Exact []pag.MethodID
+	// Blended lists the methods whose blocks said "blended": acknowledged,
+	// but intentionally left on the conservative blob model.
+	Blended []pag.MethodID
+}
+
+// ResolveError reports a spec that does not fit the target graph.
+type ResolveError struct {
+	Method string // spec method name, "" for file-level problems
+	Line   int    // 1-based spec line
+	Msg    string
+}
+
+func (e *ResolveError) Error() string {
+	if e.Method == "" {
+		return fmt.Sprintf("openworld: spec line %d: %s", e.Line, e.Msg)
+	}
+	return fmt.Sprintf("openworld: spec line %d (method %s): %s", e.Line, e.Method, e.Msg)
+}
+
+// resolver carries the per-file lookup tables.
+type resolver struct {
+	g       *pag.Graph
+	methods map[string]pag.MethodID
+	globals map[string]pag.NodeID
+	edges   []pag.Edge
+	seen    map[pag.Edge]struct{}
+}
+
+// ambiguous marks a name that several methods/globals share; referencing it
+// is an error rather than a silent arbitrary pick.
+const ambiguous = pag.NodeID(-2)
+
+// Resolve lowers f onto g. Each spec'd method must be marked bodyless on g
+// (pag.MarkBodyless / the mj 'native' keyword / StripBodies) — a spec for a
+// method that has a body would silently double its effects, so it is
+// rejected. The returned edges are not yet applied to anything.
+func Resolve(g *pag.Graph, f *File) (*Resolved, error) {
+	r := &resolver{
+		g:       g,
+		methods: make(map[string]pag.MethodID, g.NumMethods()),
+		seen:    make(map[pag.Edge]struct{}),
+	}
+	for m := 0; m < g.NumMethods(); m++ {
+		name := g.MethodInfo(pag.MethodID(m)).Name
+		if _, dup := r.methods[name]; dup {
+			r.methods[name] = pag.MethodID(ambiguous)
+		} else {
+			r.methods[name] = pag.MethodID(m)
+		}
+	}
+
+	res := &Resolved{}
+	specd := make(map[pag.MethodID]int) // method -> spec header line
+	for _, ms := range f.Methods {
+		m, ok := r.methods[ms.Name]
+		if !ok {
+			return nil, &ResolveError{ms.Name, ms.Line, "no such method in the program"}
+		}
+		if m == pag.MethodID(ambiguous) {
+			return nil, &ResolveError{ms.Name, ms.Line, "method name is ambiguous in the program"}
+		}
+		if prev, dup := specd[m]; dup {
+			return nil, &ResolveError{ms.Name, ms.Line,
+				fmt.Sprintf("method already spec'd at line %d", prev)}
+		}
+		specd[m] = ms.Line
+		info, bodyless := r.g.Bodyless(m)
+		if !bodyless {
+			return nil, &ResolveError{ms.Name, ms.Line,
+				"method is not marked bodyless (specs may only replace missing bodies)"}
+		}
+		if ms.Blended {
+			if len(ms.Rules) > 0 {
+				return nil, &ResolveError{ms.Name, ms.Rules[0].Line,
+					"a 'blended' method cannot also carry flow rules (the rules would cancel the blended treatment)"}
+			}
+			res.Blended = append(res.Blended, m)
+			continue
+		}
+		for _, rule := range ms.Rules {
+			if err := r.lower(ms.Name, info, rule); err != nil {
+				return nil, err
+			}
+		}
+		res.Exact = append(res.Exact, m)
+	}
+	res.Edges = r.edges
+	return res, nil
+}
+
+func (r *resolver) add(e pag.Edge) {
+	if _, dup := r.seen[e]; dup {
+		return
+	}
+	r.seen[e] = struct{}{}
+	r.edges = append(r.edges, e)
+}
+
+// node resolves a plain (fieldless) parameter or global term to its node.
+func (r *resolver) node(method string, info pag.BodylessInfo, t Term, line int) (pag.NodeID, bool, error) {
+	switch t.Kind {
+	case TermArg:
+		if t.Arg >= len(info.Formals) {
+			return pag.NoNode, false, &ResolveError{method, line,
+				fmt.Sprintf("method has %d parameter(s), no arg%d", len(info.Formals), t.Arg)}
+		}
+		n := info.Formals[t.Arg]
+		if n == pag.NoNode {
+			return pag.NoNode, false, &ResolveError{method, line,
+				fmt.Sprintf("arg%d is not a reference parameter", t.Arg)}
+		}
+		return n, false, nil
+	case TermGlobal:
+		if r.globals == nil {
+			r.globals = make(map[string]pag.NodeID)
+			for n := 0; n < r.g.NumNodes(); n++ {
+				nd := r.g.Node(pag.NodeID(n))
+				if nd.Kind != pag.Global {
+					continue
+				}
+				if _, dup := r.globals[nd.Name]; dup {
+					r.globals[nd.Name] = ambiguous
+				} else {
+					r.globals[nd.Name] = pag.NodeID(n)
+				}
+			}
+		}
+		n, ok := r.globals[t.Global]
+		if !ok {
+			return pag.NoNode, false, &ResolveError{method, line,
+				fmt.Sprintf("no global named %q in the program", t.Global)}
+		}
+		if n == ambiguous {
+			return pag.NoNode, false, &ResolveError{method, line,
+				fmt.Sprintf("global name %q is ambiguous in the program", t.Global)}
+		}
+		return n, true, nil
+	}
+	return pag.NoNode, false, &ResolveError{method, line, "internal: unexpected term"}
+}
+
+func (r *resolver) field(method, name string, line int) (pag.FieldID, error) {
+	f, ok := r.g.FieldByName(name)
+	if !ok {
+		return 0, &ResolveError{method, line,
+			fmt.Sprintf("field %q does not occur in the program", name)}
+	}
+	return f, nil
+}
+
+// ret resolves the return node, rejecting void methods.
+func (r *resolver) ret(method string, info pag.BodylessInfo, line int) (pag.NodeID, error) {
+	if info.Ret == pag.NoNode {
+		return pag.NoNode, &ResolveError{method, line, "method has no reference return value"}
+	}
+	return info.Ret, nil
+}
+
+// lower emits the edges of one rule. See the table at the top of the file.
+func (r *resolver) lower(method string, info pag.BodylessInfo, rule Rule) error {
+	line := rule.Line
+
+	// A bare-ret destination takes every source kind directly — no BlobVar
+	// hop, see the lowering table above.
+	if rule.Dst.Kind == TermRet && rule.Dst.Field == "" {
+		ret, err := r.ret(method, info, line)
+		if err != nil {
+			return err
+		}
+		switch {
+		case rule.Src.Kind == TermNew:
+			r.add(pag.Edge{Src: info.BlobObj, Dst: ret, Kind: pag.New, Label: pag.NoLabel})
+		case rule.Src.Kind == TermArg && rule.Src.Field != "":
+			base, _, err := r.node(method, info, Term{Kind: TermArg, Arg: rule.Src.Arg}, line)
+			if err != nil {
+				return err
+			}
+			f, err := r.field(method, rule.Src.Field, line)
+			if err != nil {
+				return err
+			}
+			r.add(pag.Edge{Src: base, Dst: ret, Kind: pag.Load, Label: int32(f)})
+		default:
+			val, valGlobal, err := r.node(method, info, rule.Src, line)
+			if err != nil {
+				return err
+			}
+			if valGlobal {
+				r.add(pag.Edge{Src: val, Dst: ret, Kind: pag.AssignGlobal, Label: pag.NoLabel})
+			} else {
+				r.add(pag.Edge{Src: val, Dst: ret, Kind: pag.Assign, Label: pag.NoLabel})
+			}
+		}
+		return nil
+	}
+
+	// Materialise the source as (node, isGlobal): plain terms resolve
+	// directly, field loads and allocations route through BlobVar.
+	var val pag.NodeID
+	var valGlobal bool
+	switch {
+	case rule.Src.Kind == TermNew:
+		r.add(pag.Edge{Src: info.BlobObj, Dst: info.BlobVar, Kind: pag.New, Label: pag.NoLabel})
+		val = info.BlobVar
+	case rule.Src.Kind == TermArg && rule.Src.Field != "":
+		base, _, err := r.node(method, info, Term{Kind: TermArg, Arg: rule.Src.Arg}, line)
+		if err != nil {
+			return err
+		}
+		f, err := r.field(method, rule.Src.Field, line)
+		if err != nil {
+			return err
+		}
+		r.add(pag.Edge{Src: base, Dst: info.BlobVar, Kind: pag.Load, Label: int32(f)})
+		val = info.BlobVar
+	default:
+		var err error
+		val, valGlobal, err = r.node(method, info, rule.Src, line)
+		if err != nil {
+			return err
+		}
+	}
+
+	// localise pulls a global source into BlobVar so that the local edge
+	// kinds (Assign/Store) never touch a Global node.
+	localise := func() pag.NodeID {
+		if !valGlobal {
+			return val
+		}
+		r.add(pag.Edge{Src: val, Dst: info.BlobVar, Kind: pag.AssignGlobal, Label: pag.NoLabel})
+		return info.BlobVar
+	}
+
+	switch {
+	case rule.Dst.Kind == TermRet || rule.Dst.Kind == TermArg: // field store
+		var base pag.NodeID
+		var err error
+		if rule.Dst.Kind == TermRet {
+			base, err = r.ret(method, info, line)
+		} else {
+			base, _, err = r.node(method, info, Term{Kind: TermArg, Arg: rule.Dst.Arg}, line)
+		}
+		if err != nil {
+			return err
+		}
+		f, err := r.field(method, rule.Dst.Field, line)
+		if err != nil {
+			return err
+		}
+		r.add(pag.Edge{Src: localise(), Dst: base, Kind: pag.Store, Label: int32(f)})
+	case rule.Dst.Kind == TermGlobal:
+		gdst, _, err := r.node(method, info, rule.Dst, line)
+		if err != nil {
+			return err
+		}
+		r.add(pag.Edge{Src: localise(), Dst: gdst, Kind: pag.AssignGlobal, Label: pag.NoLabel})
+	default:
+		return &ResolveError{method, line, "internal: unexpected destination"}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+// Package openworld makes the engines sound on incomplete programs: code
+// whose method bodies are missing — opaque libraries, natives, classes not
+// yet loaded — is modelled either by declarative per-method points-to
+// specs (the "Active Learning of Points-To Specifications" style) or by
+// conservative PIP-style blended summaries (internal/core's open-world
+// model consumes the marks this package and pag.MarkBodyless leave).
+//
+// This file is the spec front end: a tiny line-oriented format, one block
+// per method, one flow per line.
+//
+//	# vectorlib points-to specs
+//	method Vector.get
+//	  ret <- this.arr
+//	method Vector.add
+//	  this.arr <- arg1
+//	method Registry.lookup
+//	  blended            # keep the conservative blob for this one
+//
+// Grammar, per flow line, LHS "<-" RHS:
+//
+//	LHS := ret | ret.F | argN.F | this.F | global NAME
+//	RHS := argN | this | argN.F | this.F | new | global NAME
+//
+// "this" is arg0. "new" stands for an unknown object allocated by the
+// missing body (it lowers to the method's blob object). A bare "blended"
+// line keeps the method on blended treatment. Parsing never panics and
+// reports malformed input as *ParseError — the FuzzSpecParse target holds
+// the package to that contract.
+package openworld
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind classifies one side of a spec flow.
+type TermKind uint8
+
+const (
+	// TermRet is the method's return value.
+	TermRet TermKind = iota
+	// TermArg is a formal parameter by index (this == arg0).
+	TermArg
+	// TermNew is an unknown object allocated by the missing body.
+	TermNew
+	// TermGlobal is a static variable named in the program.
+	TermGlobal
+)
+
+// Term is one side of a flow line.
+type Term struct {
+	Kind   TermKind
+	Arg    int    // parameter index, TermArg only
+	Field  string // optional ".F" suffix; "" when absent
+	Global string // static name, TermGlobal only
+}
+
+func (t Term) String() string {
+	var b strings.Builder
+	switch t.Kind {
+	case TermRet:
+		b.WriteString("ret")
+	case TermArg:
+		if t.Arg == 0 {
+			b.WriteString("this")
+		} else {
+			fmt.Fprintf(&b, "arg%d", t.Arg)
+		}
+	case TermNew:
+		return "new"
+	case TermGlobal:
+		return "global " + t.Global
+	}
+	if t.Field != "" {
+		b.WriteByte('.')
+		b.WriteString(t.Field)
+	}
+	return b.String()
+}
+
+// Rule is one flow line: Dst <- Src.
+type Rule struct {
+	Dst, Src Term
+	Line     int // 1-based source line, for diagnostics
+}
+
+// MethodSpec is one method block.
+type MethodSpec struct {
+	Name    string // as written, e.g. "Vector.get"
+	Rules   []Rule
+	Blended bool // a bare "blended" line appeared
+	Line    int  // line of the "method" header
+}
+
+// File is a parsed spec file.
+type File struct {
+	Methods []MethodSpec
+}
+
+// ParseError reports malformed spec input with its 1-based line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("openworld: spec line %d: %s", e.Line, e.Msg)
+}
+
+func parseErr(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses spec text. It never panics; malformed input yields a
+// *ParseError naming the offending line.
+func Parse(text string) (*File, error) {
+	f := &File{}
+	var cur *MethodSpec
+	for ln, raw := range strings.Split(text, "\n") {
+		line := ln + 1
+		s := raw
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if s == "method" {
+			return nil, parseErr(line, "method header needs a name")
+		}
+		if name, ok := strings.CutPrefix(s, "method "); ok {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, parseErr(line, "method header needs a name")
+			}
+			if strings.ContainsAny(name, " \t") {
+				return nil, parseErr(line, "method name %q contains spaces", name)
+			}
+			f.Methods = append(f.Methods, MethodSpec{Name: name, Line: line})
+			cur = &f.Methods[len(f.Methods)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, parseErr(line, "flow line before any 'method' header")
+		}
+		if s == "blended" {
+			cur.Blended = true
+			continue
+		}
+		dstText, srcText, ok := strings.Cut(s, "<-")
+		if !ok {
+			return nil, parseErr(line, "expected 'LHS <- RHS' or 'blended', got %q", s)
+		}
+		dst, err := parseTerm(strings.TrimSpace(dstText), line)
+		if err != nil {
+			return nil, err
+		}
+		src, err := parseTerm(strings.TrimSpace(srcText), line)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRule(dst, src, line); err != nil {
+			return nil, err
+		}
+		cur.Rules = append(cur.Rules, Rule{Dst: dst, Src: src, Line: line})
+	}
+	return f, nil
+}
+
+// parseTerm parses one side of a flow line.
+func parseTerm(s string, line int) (Term, error) {
+	if s == "" {
+		return Term{}, parseErr(line, "empty term")
+	}
+	if g, ok := strings.CutPrefix(s, "global "); ok || s == "global" {
+		if !ok {
+			g = "" // bare "global" with no name
+		}
+		g = strings.TrimSpace(g)
+		if g == "" {
+			return Term{}, parseErr(line, "'global' needs a name")
+		}
+		if strings.ContainsAny(g, " \t.") {
+			return Term{}, parseErr(line, "global name %q may not contain spaces or '.'", g)
+		}
+		return Term{Kind: TermGlobal, Global: g}, nil
+	}
+	base, field, hasField := strings.Cut(s, ".")
+	if hasField {
+		if field == "" || strings.ContainsAny(field, " \t") {
+			return Term{}, parseErr(line, "malformed field in %q", s)
+		}
+	}
+	t := Term{Field: field}
+	switch {
+	case base == "new":
+		if hasField {
+			return Term{}, parseErr(line, "'new' takes no field")
+		}
+		t.Kind = TermNew
+	case base == "ret":
+		t.Kind = TermRet
+	case base == "this":
+		t.Kind = TermArg
+	case strings.HasPrefix(base, "arg"):
+		n, err := strconv.Atoi(base[len("arg"):])
+		if err != nil || n < 0 {
+			return Term{}, parseErr(line, "malformed parameter %q", base)
+		}
+		t.Kind = TermArg
+		t.Arg = n
+	default:
+		return Term{}, parseErr(line, "unknown term %q (want ret, this, argN, new, global NAME)", s)
+	}
+	return t, nil
+}
+
+// checkRule enforces the grammar's side restrictions: what may be assigned
+// to, and what may flow.
+func checkRule(dst, src Term, line int) error {
+	switch dst.Kind {
+	case TermNew:
+		return parseErr(line, "'new' cannot be assigned to")
+	case TermArg:
+		if dst.Field == "" {
+			return parseErr(line, "a bare parameter cannot be assigned to (callees cannot rebind caller variables); use argN.F")
+		}
+	case TermGlobal:
+		// fields on globals are rejected by parseTerm already
+	}
+	if src.Kind == TermRet {
+		return parseErr(line, "'ret' cannot appear on the right-hand side")
+	}
+	if dst == src {
+		return parseErr(line, "degenerate self flow %q", dst.String())
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package openworld
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	f, err := Parse(`
+# vectorlib specs
+method Vector.get
+  ret <- this.arr        # field read
+method Vector.add
+  this.arr <- arg1
+  ret <- this
+method Registry.lookup
+  blended
+method Pool.make
+  ret <- new
+  ret <- global CACHE
+  global CACHE <- arg1.buf
+method Pure.id
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Methods) != 5 {
+		t.Fatalf("got %d methods, want 5", len(f.Methods))
+	}
+	get := f.Methods[0]
+	if get.Name != "Vector.get" || len(get.Rules) != 1 {
+		t.Fatalf("Vector.get parsed as %+v", get)
+	}
+	r := get.Rules[0]
+	if r.Dst != (Term{Kind: TermRet}) || r.Src != (Term{Kind: TermArg, Field: "arr"}) {
+		t.Fatalf("Vector.get rule = %v <- %v", r.Dst, r.Src)
+	}
+	if !f.Methods[2].Blended {
+		t.Fatalf("Registry.lookup should be blended")
+	}
+	pool := f.Methods[3]
+	if len(pool.Rules) != 3 {
+		t.Fatalf("Pool.make got %d rules", len(pool.Rules))
+	}
+	if pool.Rules[1].Src != (Term{Kind: TermGlobal, Global: "CACHE"}) {
+		t.Fatalf("global src parsed as %+v", pool.Rules[1].Src)
+	}
+	if pool.Rules[2].Dst != (Term{Kind: TermGlobal, Global: "CACHE"}) ||
+		pool.Rules[2].Src != (Term{Kind: TermArg, Arg: 1, Field: "buf"}) {
+		t.Fatalf("global dst rule parsed as %+v", pool.Rules[2])
+	}
+	if pure := f.Methods[4]; len(pure.Rules) != 0 || pure.Blended {
+		t.Fatalf("empty block parsed as %+v", pure)
+	}
+}
+
+func TestParseArgIndices(t *testing.T) {
+	f, err := Parse("method M\n ret <- arg7\n arg12.f <- this\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := f.Methods[0].Rules
+	if rs[0].Src.Arg != 7 || rs[1].Dst.Arg != 12 || rs[1].Src.Arg != 0 {
+		t.Fatalf("indices parsed as %+v", rs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		line int
+		want string
+	}{
+		{"ret <- this", 1, "before any 'method'"},
+		{"method \n", 1, "needs a name"},
+		{"method A B\n", 1, "contains spaces"},
+		{"method M\nret this\n", 2, "expected 'LHS <- RHS'"},
+		{"method M\n <- this\n", 2, "empty term"},
+		{"method M\nret <- \n", 2, "empty term"},
+		{"method M\nfoo <- this\n", 2, "unknown term"},
+		{"method M\nret <- argX\n", 2, "malformed parameter"},
+		{"method M\nret <- arg-1\n", 2, "malformed parameter"},
+		{"method M\nret. <- this\n", 2, "malformed field"},
+		{"method M\nret <- global \n", 2, "'global' needs a name"},
+		{"method M\nret <- global a.b\n", 2, "may not contain"},
+		{"method M\nnew <- this\n", 2, "cannot be assigned to"},
+		{"method M\nthis <- arg1\n", 2, "bare parameter"},
+		{"method M\narg1 <- this\n", 2, "bare parameter"},
+		{"method M\nthis.f <- ret\n", 2, "right-hand side"},
+		{"method M\nret <- new.f\n", 2, "takes no field"},
+		{"method M\nthis.f <- this.f\n", 2, "degenerate"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q): no error, want %q", c.in, c.want)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q): error %T is not *ParseError", c.in, err)
+			continue
+		}
+		if pe.Line != c.line || !strings.Contains(pe.Msg, c.want) {
+			t.Errorf("Parse(%q) = line %d %q, want line %d containing %q",
+				c.in, pe.Line, pe.Msg, c.line, c.want)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	src := "method Vector.get\n  ret <- this.arr\nmethod R.l\n  blended\nmethod P.m\n  ret <- new\n  global G <- arg2\n"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(f.Format())
+	if err != nil {
+		t.Fatalf("re-parse of Format output: %v", err)
+	}
+	if len(f2.Methods) != len(f.Methods) {
+		t.Fatalf("round trip lost methods: %d -> %d", len(f.Methods), len(f2.Methods))
+	}
+	for i := range f.Methods {
+		a, b := f.Methods[i], f2.Methods[i]
+		if a.Name != b.Name || a.Blended != b.Blended || len(a.Rules) != len(b.Rules) {
+			t.Fatalf("method %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Rules {
+			if a.Rules[j].Dst != b.Rules[j].Dst || a.Rules[j].Src != b.Rules[j].Src {
+				t.Fatalf("rule %d.%d differs: %+v vs %+v", i, j, a.Rules[j], b.Rules[j])
+			}
+		}
+	}
+}
+
+// FuzzSpecParse holds Parse to its contract: arbitrary input never panics,
+// and failures always surface as *ParseError.
+func FuzzSpecParse(f *testing.F) {
+	f.Add("method Vector.get\n  ret <- this.arr\n")
+	f.Add("method R.l\n blended\n")
+	f.Add("method P.m\nret <- new\nglobal G <- arg2.f\n# c\n\n")
+	f.Add("method M\nthis.f <- global X\n")
+	f.Add("ret <- this")
+	f.Add("method \nmethod M\nnew <- new\n")
+	f.Add("method M\nret <- arg99999999999999999999\n")
+	f.Add("\x00\xff method\t<-.")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := Parse(in)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not *ParseError: %v", err, err)
+			}
+			if pe.Line <= 0 {
+				t.Fatalf("non-positive error line: %v", err)
+			}
+			return
+		}
+		// Accepted input must survive a format/re-parse cycle.
+		if _, err := Parse(spec.Format()); err != nil {
+			t.Fatalf("Format output rejected: %v", err)
+		}
+	})
+}

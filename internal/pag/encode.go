@@ -22,12 +22,18 @@ import (
 //	callsite <callerMethod> <name> <target>...
 //	node local|global|object <method|-1> <class|-1> <name>
 //	edge <kind> <src> <dst> [<label>]
+//	bodyless <method> <blobObj> <blobVar> <ret|-1> <formal|-1>...
 //	cast <var> <class> <name>
 //	deref <var> <name>
 //	factory <method> <retVar> <name>
 //
 // Records must appear in dependency order (classes before methods, nodes
-// before edges); Encode emits them that way.
+// before edges and bodyless marks); Encode emits them that way. The
+// bodyless record references the blob nodes MarkBodyless minted — they are
+// ordinary node records — so decoding installs the recorded interface
+// as-is instead of minting fresh blobs (node IDs must survive the round
+// trip: the open-world soundness checker aligns stripped graphs with
+// full-body oracles by ID).
 
 const magic = "pag v1"
 
@@ -63,6 +69,14 @@ func Encode(w io.Writer, p *Program) error {
 				fmt.Fprintf(bw, "edge %s %d %d %d\n", e.Kind, e.Src, e.Dst, e.Label)
 			}
 		}
+	}
+	for _, m := range g.BodylessMethods() {
+		info := g.bodyless[m]
+		fmt.Fprintf(bw, "bodyless %d %d %d %d", m, info.BlobObj, info.BlobVar, info.Ret)
+		for _, f := range info.Formals {
+			fmt.Fprintf(bw, " %d", f)
+		}
+		fmt.Fprintln(bw)
 	}
 	for _, c := range p.Casts {
 		fmt.Fprintf(bw, "cast %d %d %s\n", c.Var, c.Target, quote(c.Name))
@@ -240,6 +254,61 @@ func decodeLine(g *Graph, p *Program, fields []string) error {
 			return fmt.Errorf("edge endpoint out of range: %d -> %d (have %d nodes)", src, dst, g.NumNodes())
 		}
 		g.AddEdge(Edge{Src: NodeID(src), Dst: NodeID(dst), Kind: kind, Label: label})
+	case "bodyless":
+		if len(fields) < 5 {
+			return fmt.Errorf("bodyless wants >=4 args")
+		}
+		ids := make([]int, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return err
+			}
+			ids = append(ids, v)
+		}
+		m := MethodID(ids[0])
+		if m < 0 || int(m) >= len(g.methods) {
+			return fmt.Errorf("bodyless method %d out of range", m)
+		}
+		if _, dup := g.bodyless[m]; dup {
+			return fmt.Errorf("method %d marked bodyless twice", m)
+		}
+		node := func(v int, what string, allowNone bool) (NodeID, error) {
+			if v == int(NoNode) && allowNone {
+				return NoNode, nil
+			}
+			if v < 0 || v >= len(g.nodes) {
+				return NoNode, fmt.Errorf("bodyless %s node %d out of range", what, v)
+			}
+			return NodeID(v), nil
+		}
+		// The blob nodes were minted by MarkBodyless before encoding and
+		// arrive as ordinary node records; install the interface as-is so
+		// node IDs survive the round trip.
+		blobObj, err := node(ids[1], "blob-object", false)
+		if err != nil {
+			return err
+		}
+		blobVar, err := node(ids[2], "blob-variable", false)
+		if err != nil {
+			return err
+		}
+		ret, err := node(ids[3], "return", true)
+		if err != nil {
+			return err
+		}
+		info := BodylessInfo{Ret: ret, BlobObj: blobObj, BlobVar: blobVar}
+		for _, v := range ids[4:] {
+			f, err := node(v, "formal", true)
+			if err != nil {
+				return err
+			}
+			info.Formals = append(info.Formals, f)
+		}
+		if g.bodyless == nil {
+			g.bodyless = make(map[MethodID]BodylessInfo)
+		}
+		g.bodyless[m] = info
 	case "cast":
 		if len(fields) != 4 {
 			return fmt.Errorf("cast wants 3 args")

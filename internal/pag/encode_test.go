@@ -120,3 +120,60 @@ func TestDecodeRestoresNullClass(t *testing.T) {
 		t.Error("null object lost in round trip")
 	}
 }
+
+// TestEncodeDecodeBodyless pins that bodyless marks survive the text
+// round trip: without the bodyless record a decoded open-world PAG would
+// silently lose its holes — the engines would answer it closed-world,
+// which is exactly the unsoundness the marks exist to prevent.
+func TestEncodeDecodeBodyless(t *testing.T) {
+	b := NewBuilder()
+	cls := b.Class("Lib", NoClass)
+	m := b.Method("Lib.get", cls)
+	this := b.Local(m, "this", cls)
+	ret := b.Local(m, "ret", cls)
+	info, err := b.G.MarkBodyless(m, []NodeID{this, NoNode}, ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	void := b.Method("Lib.touch", cls)
+	vThis := b.Local(void, "this", cls)
+	vInfo, err := b.G.MarkBodyless(void, []NodeID{vThis}, NoNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := roundTrip(t, NewProgram("bodyless", b.G)).G
+	if got.NumBodyless() != 2 {
+		t.Fatalf("NumBodyless = %d, want 2", got.NumBodyless())
+	}
+	gi, ok := got.Bodyless(m)
+	if !ok {
+		t.Fatal("Lib.get lost its bodyless mark")
+	}
+	if !reflect.DeepEqual(gi, info) {
+		t.Errorf("Lib.get info = %+v, want %+v", gi, info)
+	}
+	if !got.IsBlobObject(gi.BlobObj) {
+		t.Error("decoded blob object not recognised (Blob class not re-resolved)")
+	}
+	vi, _ := got.Bodyless(void)
+	if !reflect.DeepEqual(vi, vInfo) {
+		t.Errorf("Lib.touch info = %+v, want %+v", vi, vInfo)
+	}
+}
+
+func TestDecodeBodylessErrors(t *testing.T) {
+	base := "pag v1 t\nclass Lib -1\nmethod Lib.get 0\nnode local 0 0 this\n"
+	cases := []struct{ name, line string }{
+		{"short", "bodyless 0 1 2"},
+		{"method range", "bodyless 9 0 0 -1 0"},
+		{"node range", "bodyless 0 42 0 -1 0"},
+		{"no-node blob", "bodyless 0 -1 0 -1 0"},
+		{"dup", "bodyless 0 0 0 -1 0\nbodyless 0 0 0 -1 0"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(base + c.line + "\n")); err == nil {
+			t.Errorf("%s: Decode accepted %q", c.name, c.line)
+		}
+	}
+}

@@ -244,6 +244,12 @@ type Graph struct {
 	nullClass ClassID
 
 	arrayField FieldID
+
+	// bodyless records the methods marked bodyless (see openworld.go) and
+	// blobClassID the distinguished class of their blob nodes, NoClass
+	// until the first mark.
+	bodyless    map[MethodID]BodylessInfo
+	blobClassID ClassID
 }
 
 // NewGraph returns an empty PAG.
@@ -255,6 +261,7 @@ func NewGraph() *Graph {
 		fieldIndex:    make(map[string]FieldID),
 		nullClass:     NoClass,
 		arrayField:    NoField,
+		blobClassID:   NoClass,
 	}
 	return g
 }
@@ -585,6 +592,9 @@ func (g *Graph) ResolveDerived() {
 	for i, c := range g.classes {
 		if c.Name == "Null" {
 			g.nullClass = ClassID(i)
+		}
+		if c.Name == BlobClassName {
+			g.blobClassID = ClassID(i)
 		}
 	}
 }

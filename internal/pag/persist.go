@@ -34,6 +34,10 @@ type FrozenImage struct {
 	InSplit  []int32
 	Flags    []uint8
 
+	// Bodyless carries the open-world bodyless-method table (openworld.go),
+	// ordered by method ID; empty for closed-world graphs.
+	Bodyless []BodylessImage
+
 	// CondTrivial records that the graph had no assign cycle: the
 	// condensation aliases the base arrays and the Cond* fields stay nil.
 	CondTrivial  bool
@@ -46,6 +50,16 @@ type FrozenImage struct {
 	CondInSplit  []int32
 	CondFlags    []uint8
 	CondStats    CondenseStats
+}
+
+// BodylessImage is the flat form of one bodyless-method record: the method
+// and its BodylessInfo, encoding-friendly.
+type BodylessImage struct {
+	Method  MethodID
+	Formals []NodeID
+	Ret     NodeID
+	BlobObj NodeID
+	BlobVar NodeID
 }
 
 // ErrNotFrozen is returned by Image on a graph still in builder form:
@@ -74,6 +88,13 @@ func (g *Graph) Image() (*FrozenImage, error) {
 		InSplit:   f.inSplit,
 		Flags:     flagBytes(g.flags),
 		CondStats: g.cond.stats,
+	}
+	for _, m := range g.BodylessMethods() {
+		info := g.bodyless[m]
+		img.Bodyless = append(img.Bodyless, BodylessImage{
+			Method: m, Formals: info.Formals, Ret: info.Ret,
+			BlobObj: info.BlobObj, BlobVar: info.BlobVar,
+		})
 	}
 	if g.cond.Trivial() {
 		img.CondTrivial = true
@@ -140,12 +161,38 @@ func FromImage(img *FrozenImage) (*Graph, error) {
 		}
 	}
 
+	for i, b := range img.Bodyless {
+		if b.Method < 0 || int(b.Method) >= len(img.Methods) {
+			return nil, fmt.Errorf("pag: image bodyless record %d has method %d out of range", i, b.Method)
+		}
+		// NoNode is legal for Ret and for formal gaps (non-reference params).
+		for _, nd := range append([]NodeID{b.Ret, b.BlobObj, b.BlobVar}, b.Formals...) {
+			if nd != NoNode && (nd < 0 || int(nd) >= n) {
+				return nil, fmt.Errorf("pag: image bodyless record %d has node %d out of range", i, nd)
+			}
+		}
+		if b.BlobObj == NoNode || b.BlobVar == NoNode {
+			return nil, fmt.Errorf("pag: image bodyless record %d is missing its blob nodes", i)
+		}
+	}
+
 	g := NewGraph()
 	g.nodes = img.Nodes
 	g.fields = img.Fields
 	g.methods = img.Methods
 	g.classes = img.Classes
 	g.callSites = img.CallSites
+	for _, b := range img.Bodyless {
+		if g.bodyless == nil {
+			g.bodyless = make(map[MethodID]BodylessInfo, len(img.Bodyless))
+		}
+		if _, dup := g.bodyless[b.Method]; dup {
+			return nil, fmt.Errorf("pag: image marks method %d bodyless twice", b.Method)
+		}
+		g.bodyless[b.Method] = BodylessInfo{
+			Formals: b.Formals, Ret: b.Ret, BlobObj: b.BlobObj, BlobVar: b.BlobVar,
+		}
+	}
 	g.flags = nodeFlagSlice(img.Flags)
 	g.frozen = &csr{
 		outEdges: img.OutEdges,

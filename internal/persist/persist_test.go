@@ -498,3 +498,64 @@ func TestEncodeDecodeIsIdentity(t *testing.T) {
 		t.Errorf("re-encoded snapshot differs: %d vs %d bytes", len(re), len(enc))
 	}
 }
+
+// TestStorePreservesBodyless pins the open-world half of recovery: a
+// store built from a stripped graph must reopen with every bodyless mark
+// intact — identical BodylessInfo records, blob nodes recognised — and a
+// blended open-world engine on the recovered graph must answer exactly
+// like one on the original. Dropping the section would be silent
+// unsoundness: the recovered engine would answer its holes closed-world.
+func TestStorePreservesBodyless(t *testing.T) {
+	ow, ok := benchgen.OpenWorldProfileByName("avrora-ow25")
+	if !ok {
+		t.Fatal("avrora-ow25 profile missing")
+	}
+	bench, err := benchgen.GenerateOpenWorld(ow, 0.005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := bench.Stripped
+
+	dir := t.TempDir()
+	opts := Options{Config: bigBudget, Ctxs: new(intstack.Table)}
+	st, err := Create(dir, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	re, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+
+	g, rg := prog.G, re.Program().G
+	if rg.NumBodyless() != g.NumBodyless() {
+		t.Fatalf("reopened NumBodyless = %d, want %d", rg.NumBodyless(), g.NumBodyless())
+	}
+	for _, m := range g.BodylessMethods() {
+		want, _ := g.Bodyless(m)
+		got, ok := rg.Bodyless(m)
+		if !ok {
+			t.Fatalf("method %s lost its bodyless mark", g.MethodInfo(m).Name)
+		}
+		if got.Ret != want.Ret || got.BlobObj != want.BlobObj || got.BlobVar != want.BlobVar ||
+			len(got.Formals) != len(want.Formals) {
+			t.Fatalf("method %s info = %+v, want %+v", g.MethodInfo(m).Name, got, want)
+		}
+		for i := range want.Formals {
+			if got.Formals[i] != want.Formals[i] {
+				t.Fatalf("method %s formal %d = %d, want %d",
+					g.MethodInfo(m).Name, i, got.Formals[i], want.Formals[i])
+			}
+		}
+		if !rg.IsBlobObject(got.BlobObj) {
+			t.Fatalf("method %s blob object not recognised after reopen", g.MethodInfo(m).Name)
+		}
+	}
+
+	st.Engine().EnableOpenWorld(core.PolicyBlended)
+	re.Engine().EnableOpenWorld(core.PolicyBlended)
+	comparePts(t, "openworld reopen", queryVars(prog, 40), re.Engine(), st.Engine())
+}

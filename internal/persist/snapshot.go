@@ -36,11 +36,13 @@ const (
 
 	snapHeaderSize = len(Magic) + 4 + 4 // magic + u32 version + u32 section count
 	sectionHdrSize = 4 + 4 + 4          // u32 kind + u32 len + u32 crc
-	maxSectionKind = secCache
+	maxSectionKind = secBodyless
 )
 
 // Section kinds, in required file order. secCache is optional (a snapshot
-// of a cold engine omits it); everything else must appear exactly once.
+// of a cold engine omits it) and so is secBodyless (a closed-world graph
+// has no bodyless-method table, and pre-open-world snapshots predate the
+// section); everything else must appear exactly once.
 const (
 	secMeta = iota + 1
 	secClasses
@@ -52,12 +54,14 @@ const (
 	secCond
 	secSites
 	secCache
+	secBodyless
 )
 
 var sectionNames = [maxSectionKind + 1]string{
 	secMeta: "meta", secClasses: "classes", secFields: "fields",
 	secMethods: "methods", secCallSites: "callsites", secNodes: "nodes",
 	secCSR: "csr", secCond: "cond", secSites: "sites", secCache: "cache",
+	secBodyless: "bodyless",
 }
 
 // snapshot is the decoded (or to-be-encoded) content of a snapshot file.
@@ -190,6 +194,25 @@ func encodeSections(s *snapshot) []section {
 		b = appendString(b, f.Name)
 	}
 	add(secSites, b)
+
+	// The open-world bodyless-method table (DESIGN.md §15): without it a
+	// recovered store would silently answer its holes closed-world. Omitted
+	// for closed-world graphs so their snapshots are byte-identical to
+	// pre-open-world ones.
+	if len(img.Bodyless) > 0 {
+		b = appendU32(nil, uint32(len(img.Bodyless)))
+		for _, bd := range img.Bodyless {
+			b = appendU32(b, uint32(bd.Method))
+			b = appendU32(b, uint32(bd.BlobObj))
+			b = appendU32(b, uint32(bd.BlobVar))
+			b = appendU32(b, uint32(bd.Ret))
+			b = appendU32(b, uint32(len(bd.Formals)))
+			for _, f := range bd.Formals {
+				b = appendU32(b, uint32(f))
+			}
+		}
+		add(secBodyless, b)
+	}
 
 	if c := s.cache; c != nil {
 		b = appendU32(nil, uint32(c.CacheMode))
@@ -599,6 +622,59 @@ func decodeSnapshot(data []byte) (*snapshot, error) {
 		return r.done()
 	}(); err != nil {
 		return nil, corruptSection("sites", err)
+	}
+
+	if payloads[secBodyless] != nil {
+		if err := func() error {
+			r := &reader{data: payloads[secBodyless]}
+			n, err := r.count(4 + 4 + 4 + 4 + 4)
+			if err != nil {
+				return err
+			}
+			img.Bodyless = make([]pag.BodylessImage, n)
+			for i := range img.Bodyless {
+				bd := &img.Bodyless[i]
+				m, err := r.i32()
+				if err != nil {
+					return err
+				}
+				obj, err := r.i32()
+				if err != nil {
+					return err
+				}
+				v, err := r.i32()
+				if err != nil {
+					return err
+				}
+				ret, err := r.i32()
+				if err != nil {
+					return err
+				}
+				bd.Method = pag.MethodID(m)
+				bd.BlobObj = pag.NodeID(obj)
+				bd.BlobVar = pag.NodeID(v)
+				bd.Ret = pag.NodeID(ret)
+				nf, err := r.count(4)
+				if err != nil {
+					return err
+				}
+				if nf > 0 {
+					bd.Formals = make([]pag.NodeID, nf)
+					for j := range bd.Formals {
+						f, err := r.i32()
+						if err != nil {
+							return err
+						}
+						bd.Formals[j] = pag.NodeID(f)
+					}
+				}
+			}
+			// Range and duplicate validation happens in pag.FromImage,
+			// which rejects malformed records with typed errors.
+			return r.done()
+		}(); err != nil {
+			return nil, corruptSection("bodyless", err)
+		}
 	}
 
 	if payloads[secCache] != nil {

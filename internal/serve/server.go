@@ -59,6 +59,10 @@ type Config struct {
 	StateDir string
 	// Engine configures every session's core.DynSum.
 	Engine core.Config
+	// Prepare, when set, runs on every new session engine before it serves
+	// queries — the hook dynsumd uses to enable open-world mode and apply
+	// library specs. A Prepare error fails the session's creation.
+	Prepare func(*core.DynSum) error
 }
 
 func (c Config) withDefaults() Config {
@@ -232,6 +236,11 @@ func (s *Server) CreateSession(id, tenant string) (*Session, error) {
 		ID:     id,
 		Tenant: tenant,
 		eng:    core.NewDynSum(s.base.G, s.cfg.Engine, s.ctxs),
+	}
+	if s.cfg.Prepare != nil {
+		if err := s.cfg.Prepare(sess.eng); err != nil {
+			return nil, fmt.Errorf("serve: prepare session %s: %w", id, err)
+		}
 	}
 	s.sessions[id] = sess
 	return sess, nil

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# baseline.sh — measure the benchmark-trajectory workloads and write the
+# snapshot file (default BENCH_10.json). WriteBenchJSONFile preserves an
+# existing baseline section — absent one, it promotes the file's previous
+# current section — so running this twice yields a before/after pair that
+# compare.sh can check.
+#
+# Usage: scripts/bench/baseline.sh [snapshot.json] [extra experiments flags...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+cd "$ROOT"
+
+FILE="${1:-BENCH_10.json}"
+shift 2>/dev/null || true
+
+echo "[bench] measuring trajectory workloads into $FILE"
+go run ./cmd/experiments -bench-json "$FILE" "$@"
+echo "[bench] done; compare with: scripts/bench/compare.sh $FILE"

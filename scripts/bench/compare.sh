@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# compare.sh — compare a benchmark snapshot's current section against its
+# baseline section and warn on regressions beyond the tolerance ratio.
+# Exits non-zero only on I/O or schema errors; regressions print warnings
+# so CI logs surface them without hard-failing exploratory branches.
+#
+# Usage: scripts/bench/compare.sh [snapshot.json] [tolerance]
+#   tolerance defaults to 0.2 (20%); also settable via $TOLERANCE.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+cd "$ROOT"
+
+FILE="${1:-BENCH_10.json}"
+TOL="${2:-${TOLERANCE:-0.2}}"
+
+echo "[bench] comparing $FILE (tolerance $TOL)"
+go run ./cmd/experiments -bench-compare "$FILE" -tolerance "$TOL"
